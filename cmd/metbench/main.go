@@ -1,0 +1,143 @@
+// Command metbench drives the functional mini-HBase cluster with YCSB or
+// TPC-C load and reports real engine statistics (operations, cache hit
+// ratios, flushes, region counts) — the functional-layer counterpart of
+// cmd/metsim's model-based experiments.
+//
+// Usage:
+//
+//	metbench -workload A|B|C|D|E|F|tpcc [-servers 3] [-ops 20000] [-records 5000] [-met]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"met"
+	"met/internal/sim"
+	"met/internal/tpcc"
+	"met/internal/ycsb"
+)
+
+func main() {
+	workload := flag.String("workload", "A", "YCSB workload letter (A-F) or 'tpcc'")
+	servers := flag.Int("servers", 3, "region servers")
+	ops := flag.Int("ops", 20000, "operations (or transactions for tpcc)")
+	records := flag.Int64("records", 5000, "records to load per table")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	withMeT := flag.Bool("met", false, "attach the MeT controller during the run")
+	flag.Parse()
+
+	cluster, err := met.NewCluster(*servers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	switch *workload {
+	case "tpcc":
+		runTPCC(cluster, *ops, *seed)
+	default:
+		runYCSB(cluster, *workload, *ops, *records, *seed, *withMeT)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nwall time: %v\n", elapsed.Round(time.Millisecond))
+	fmt.Println("cluster state:")
+	for _, rs := range cluster.Master.Servers() {
+		req := rs.Requests()
+		fmt.Printf("  %s: regions=%d reads=%d writes=%d scans=%d locality=%.2f [%s]\n",
+			rs.Name(), rs.NumRegions(), req.Reads, req.Writes, req.Scans, rs.Locality(), rs.Config())
+	}
+}
+
+func runYCSB(cluster *met.Cluster, letter string, ops int, records int64, seed uint64, withMeT bool) {
+	var spec *ycsb.Workload
+	for _, w := range ycsb.PaperWorkloads() {
+		if w.Name == letter {
+			w := w
+			spec = &w
+		}
+	}
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "metbench: unknown workload %q\n", letter)
+		os.Exit(2)
+	}
+	spec.RecordCount = records
+	spec.FieldLengthBytes = 128
+	runner, err := ycsb.NewRunner(*spec, cluster.Client, sim.NewRNG(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := runner.CreateTable(cluster.Master); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loading %d records into %s...\n", records, spec.TableName())
+	if err := runner.Load(0); err != nil {
+		log.Fatal(err)
+	}
+
+	var ctrl *met.Controller
+	if withMeT {
+		params := met.DefaultParams()
+		params.MinSamples = 2
+		params.MinNodes = len(cluster.Master.Servers())
+		params.MaxNodes = params.MinNodes
+		ctrl = met.NewController(cluster, params, 100)
+		ctrl.Tick(0)
+		ctrl.Monitor.Reset()
+	}
+	fmt.Printf("running %d operations of Workload%s (%s)...\n", ops, letter, spec.Scenario)
+	batch := ops / 10
+	if batch < 1 {
+		batch = 1
+	}
+	now := 30 * sim.Second
+	for done := 0; done < ops; done += batch {
+		n := batch
+		if ops-done < n {
+			n = ops - done
+		}
+		if err := runner.Run(n); err != nil {
+			log.Fatal(err)
+		}
+		if ctrl != nil {
+			ctrl.Tick(now)
+			now += 30 * sim.Second
+		}
+	}
+	fmt.Printf("completed: %d ops, %d errors\n", runner.TotalCompleted(), runner.Errors())
+	for op, n := range runner.Completed() {
+		fmt.Printf("  %-7s %d\n", op, n)
+	}
+	if ctrl != nil {
+		fmt.Printf("MeT: %d decisions, %d actuations\n", ctrl.Decisions(), ctrl.Actuations())
+	}
+}
+
+func runTPCC(cluster *met.Cluster, txs int, seed uint64) {
+	cfg := tpcc.Small()
+	cfg.Warehouses = 3
+	cfg.Items = 300
+	loader := &tpcc.Loader{Cfg: cfg, Client: cluster.Client}
+	if err := loader.CreateTables(cluster.Master, 1); err != nil {
+		log.Fatal(err)
+	}
+	rows, err := loader.Load()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d rows (%d warehouses)\n", rows, cfg.Warehouses)
+	driver := tpcc.NewDriver(tpcc.NewExecutor(cfg, cluster.Client, sim.NewRNG(seed)))
+	fmt.Printf("running %d transactions...\n", txs)
+	if err := driver.Run(txs); err != nil {
+		log.Fatal(err)
+	}
+	res := driver.Result()
+	fmt.Printf("completed: %d txs (%.1f%% read-only), %d errors\n",
+		res.Total(), 100*res.ReadOnlyFraction(), res.Errors)
+	for _, tx := range []tpcc.TxType{tpcc.TxNewOrder, tpcc.TxPayment, tpcc.TxOrderStatus, tpcc.TxDelivery, tpcc.TxStockLevel} {
+		fmt.Printf("  %-13s %d\n", tx, res.Completed[tx])
+	}
+}

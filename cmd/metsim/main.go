@@ -1,0 +1,41 @@
+// Command metsim regenerates the paper's evaluation: every table and
+// figure of "MeT: workload aware elasticity for NoSQL" (EuroSys 2013),
+// reproduced on the simulated deployment.
+//
+// Usage:
+//
+//	metsim -exp fig1|fig4|table2|fig5|fig6|all [-runs N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"met"
+)
+
+func main() {
+	expName := flag.String("exp", "all", "experiment: fig1, fig4, table2, fig5, fig6, elasticity, all")
+	runs := flag.Int("runs", 5, "runs per strategy for fig1 (the paper uses 5)")
+	seed := flag.Uint64("seed", 1, "deterministic experiment seed")
+	flag.Parse()
+
+	out := os.Stdout
+	switch *expName {
+	case "fig1":
+		met.RunFigure1(*runs, *seed).Print(out)
+	case "fig4":
+		met.RunFigure4(*seed).Print(out)
+	case "table2":
+		met.RunTable2(*seed).Print(out)
+	case "fig5", "fig6", "elasticity":
+		met.RunElasticity(*seed).Print(out)
+	case "all":
+		met.PrintAll(out, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "metsim: unknown experiment %q\n", *expName)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: stand up a functional mini-HBase cluster, write and read
+// data through the public API, and inspect the cluster state MeT's
+// monitor would see.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"met"
+)
+
+func main() {
+	// A 3-server cluster (each server is co-located with a simulated
+	// HDFS datanode; replication factor 2).
+	cluster, err := met.NewCluster(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A table pre-split into 3 regions: ["", "h"), ["h", "p"), ["p", "").
+	if err := cluster.CreateTable("users", []string{"h", "p"}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Writes are atomic and immediately visible.
+	users := map[string]string{
+		"alice": "alice@example.com",
+		"homer": "homer@example.com",
+		"zoe":   "zoe@example.com",
+	}
+	for k, v := range users {
+		if err := cluster.Put("users", k, []byte(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	v, err := cluster.Get("users", "homer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get homer -> %s\n", v)
+
+	// Scans stitch regions together transparently.
+	keys, _, err := cluster.Scan("users", "", "", -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scan -> %v\n", keys)
+
+	// Deletes write tombstones that shadow older versions.
+	if err := cluster.Delete("users", "zoe"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cluster.Get("users", "zoe"); err != nil {
+		fmt.Printf("get zoe after delete -> %v\n", err)
+	}
+
+	// The cluster state MeT monitors: region placement per server.
+	for _, rs := range cluster.Master.Servers() {
+		fmt.Printf("server %s: %d regions, locality %.2f, config [%s]\n",
+			rs.Name(), rs.NumRegions(), rs.Locality(), rs.Config())
+	}
+}

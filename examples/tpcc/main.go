@@ -1,0 +1,53 @@
+// TPC-C: load a small TPC-C database onto the functional cluster and run
+// the five transaction types through the standard mix, reporting the
+// result counters — the workload behind the paper's Table 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"met"
+	"met/internal/sim"
+	"met/internal/tpcc"
+)
+
+func main() {
+	cluster, err := met.NewCluster(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := tpcc.Config{
+		Warehouses:           3,
+		DistrictsPerWH:       4,
+		CustomersPerDistrict: 60,
+		Items:                500,
+		InitialOrdersPerDist: 30,
+		ValueFiller:          64,
+	}
+	loader := &tpcc.Loader{Cfg: cfg, Client: cluster.Client}
+	if err := loader.CreateTables(cluster.Master, 1); err != nil {
+		log.Fatal(err)
+	}
+	rows, err := loader.Load()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d rows across %d tables, %d warehouses\n", rows, len(tpcc.Tables), cfg.Warehouses)
+
+	exec := tpcc.NewExecutor(cfg, cluster.Client, sim.NewRNG(7))
+	driver := tpcc.NewDriver(exec)
+	const txCount = 2000
+	if err := driver.Run(txCount); err != nil {
+		log.Fatal(err)
+	}
+
+	res := driver.Result()
+	fmt.Printf("executed %d transactions (%.1f%% read-only)\n", res.Total(), 100*res.ReadOnlyFraction())
+	for _, tx := range []tpcc.TxType{tpcc.TxNewOrder, tpcc.TxPayment, tpcc.TxOrderStatus, tpcc.TxDelivery, tpcc.TxStockLevel} {
+		fmt.Printf("  %-13s %6d\n", tx, res.Completed[tx])
+	}
+	// tpmC over a nominal 10-minute window at this transaction count.
+	fmt.Printf("tpmC over a 10-minute window: %.0f\n", tpcc.TpmC(res.NewOrders(), 10*sim.Minute))
+}

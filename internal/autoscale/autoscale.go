@@ -1,0 +1,162 @@
+// Package autoscale implements the systems MeT is compared against in
+// Section 6.4: Tiramola (Konstantinou et al., CIKM 2011) and the
+// CloudWatch + Auto Scaling rule pattern. Both are oblivious to the
+// database: they watch system-level metrics only, add or remove whole
+// nodes, never reconfigure them, never move data deliberately (the
+// database's random balancer redistributes), and never restore locality.
+package autoscale
+
+import (
+	"fmt"
+
+	"met/internal/metrics"
+)
+
+// Action is an autoscaler's verdict for one evaluation.
+type Action int
+
+// Possible actions.
+const (
+	ActionNone Action = iota
+	ActionAddNode
+	ActionRemoveNode
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionAddNode:
+		return "add"
+	case ActionRemoveNode:
+		return "remove"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Params configure the Tiramola-style controller.
+type Params struct {
+	// CPUHigh: adding threshold on the cluster's average CPU.
+	CPUHigh float64
+	// CPULow: removal threshold; per the paper, Tiramola "only
+	// releases resources when every node in the cluster is
+	// underutilized", and this cannot be parameterized away.
+	CPULow float64
+	// MinNodes / MaxNodes bound the cluster.
+	MinNodes int
+	MaxNodes int
+	// CooldownEvaluations suppresses actions for this many evaluations
+	// after an action (avoids thrashing while a VM boots).
+	CooldownEvaluations int
+}
+
+// DefaultParams returns thresholds matching the evaluation setup.
+func DefaultParams() Params {
+	return Params{
+		CPUHigh:             0.85,
+		CPULow:              0.30,
+		MinNodes:            1,
+		MaxNodes:            64,
+		CooldownEvaluations: 6,
+	}
+}
+
+// Tiramola is the baseline controller.
+type Tiramola struct {
+	Params   Params
+	cooldown int
+	actions  int
+}
+
+// NewTiramola returns a controller with the given parameters.
+func NewTiramola(p Params) *Tiramola { return &Tiramola{Params: p} }
+
+// Evaluate inspects per-node CPU utilizations and returns an action.
+func (t *Tiramola) Evaluate(nodeCPU map[string]float64) Action {
+	if t.cooldown > 0 {
+		t.cooldown--
+		return ActionNone
+	}
+	n := len(nodeCPU)
+	if n == 0 {
+		return ActionNone
+	}
+	var sum float64
+	allLow := true
+	for _, c := range nodeCPU {
+		sum += c
+		if c >= t.Params.CPULow {
+			allLow = false
+		}
+	}
+	avg := sum / float64(n)
+	switch {
+	case avg > t.Params.CPUHigh && n < t.Params.MaxNodes:
+		t.cooldown = t.Params.CooldownEvaluations
+		t.actions++
+		return ActionAddNode
+	case allLow && n > t.Params.MinNodes:
+		t.cooldown = t.Params.CooldownEvaluations
+		t.actions++
+		return ActionRemoveNode
+	default:
+		return ActionNone
+	}
+}
+
+// Actions returns how many scale actions have been taken.
+func (t *Tiramola) Actions() int { return t.actions }
+
+// Rule is one CloudWatch-style threshold rule: when Metric crosses
+// Threshold in the given direction for Periods consecutive evaluations,
+// Action fires.
+type Rule struct {
+	Name      string
+	Metric    string // "cpu", "iowait", "memory"
+	Above     bool   // true: fire when metric > threshold
+	Threshold float64
+	Periods   int
+	Action    Action
+
+	streak int
+}
+
+// RuleEngine evaluates a set of rules over aggregate metrics, mimicking
+// CloudWatch alarms driving Auto Scaling policies.
+type RuleEngine struct {
+	Rules []*Rule
+}
+
+// Evaluate feeds one aggregate sample to every rule; the first rule whose
+// streak completes wins (rules are priority-ordered).
+func (e *RuleEngine) Evaluate(sample metrics.SystemMetrics) Action {
+	value := func(metric string) float64 {
+		switch metric {
+		case "cpu":
+			return sample.CPUUtilization
+		case "iowait":
+			return sample.IOWait
+		case "memory":
+			return sample.MemoryUsage
+		default:
+			return 0
+		}
+	}
+	var fired Action = ActionNone
+	for _, r := range e.Rules {
+		v := value(r.Metric)
+		crossed := (r.Above && v > r.Threshold) || (!r.Above && v < r.Threshold)
+		if crossed {
+			r.streak++
+		} else {
+			r.streak = 0
+		}
+		if r.streak >= r.Periods && fired == ActionNone {
+			fired = r.Action
+			r.streak = 0
+		}
+	}
+	return fired
+}

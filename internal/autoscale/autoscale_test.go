@@ -1,0 +1,144 @@
+package autoscale
+
+import (
+	"testing"
+
+	"met/internal/metrics"
+)
+
+func cpus(vals ...float64) map[string]float64 {
+	out := make(map[string]float64, len(vals))
+	for i, v := range vals {
+		out[string(rune('a'+i))] = v
+	}
+	return out
+}
+
+func TestAddOnHighAverage(t *testing.T) {
+	p := DefaultParams()
+	p.CooldownEvaluations = 0
+	tr := NewTiramola(p)
+	if got := tr.Evaluate(cpus(0.95, 0.9, 0.92)); got != ActionAddNode {
+		t.Fatalf("action = %v", got)
+	}
+	if tr.Actions() != 1 {
+		t.Fatalf("actions = %d", tr.Actions())
+	}
+}
+
+func TestNoAddWhenAverageModerate(t *testing.T) {
+	tr := NewTiramola(DefaultParams())
+	// One hot node does not raise the average enough: this is exactly
+	// the blindness to skew the paper criticizes.
+	if got := tr.Evaluate(cpus(0.99, 0.2, 0.2, 0.2)); got != ActionNone {
+		t.Fatalf("action = %v", got)
+	}
+}
+
+func TestRemoveOnlyWhenAllIdle(t *testing.T) {
+	p := DefaultParams()
+	p.CooldownEvaluations = 0
+	tr := NewTiramola(p)
+	// One busy node blocks removal even if the average is low.
+	if got := tr.Evaluate(cpus(0.05, 0.05, 0.6)); got != ActionNone {
+		t.Fatalf("action = %v", got)
+	}
+	if got := tr.Evaluate(cpus(0.05, 0.05, 0.1)); got != ActionRemoveNode {
+		t.Fatalf("action = %v", got)
+	}
+}
+
+func TestMinMaxBounds(t *testing.T) {
+	p := DefaultParams()
+	p.CooldownEvaluations = 0
+	p.MinNodes = 3
+	p.MaxNodes = 3
+	tr := NewTiramola(p)
+	if got := tr.Evaluate(cpus(0.99, 0.99, 0.99)); got != ActionNone {
+		t.Fatalf("add beyond max: %v", got)
+	}
+	if got := tr.Evaluate(cpus(0.01, 0.01, 0.01)); got != ActionNone {
+		t.Fatalf("remove below min: %v", got)
+	}
+}
+
+func TestCooldownSuppresses(t *testing.T) {
+	p := DefaultParams()
+	p.CooldownEvaluations = 2
+	tr := NewTiramola(p)
+	if tr.Evaluate(cpus(0.95, 0.95)) != ActionAddNode {
+		t.Fatal("first add suppressed")
+	}
+	if tr.Evaluate(cpus(0.95, 0.95)) != ActionNone {
+		t.Fatal("cooldown ignored")
+	}
+	if tr.Evaluate(cpus(0.95, 0.95)) != ActionNone {
+		t.Fatal("cooldown ignored (2)")
+	}
+	if tr.Evaluate(cpus(0.95, 0.95)) != ActionAddNode {
+		t.Fatal("post-cooldown add suppressed")
+	}
+}
+
+func TestEmptyCluster(t *testing.T) {
+	tr := NewTiramola(DefaultParams())
+	if tr.Evaluate(nil) != ActionNone {
+		t.Fatal("action on empty cluster")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	for _, a := range []Action{ActionNone, ActionAddNode, ActionRemoveNode, Action(9)} {
+		if a.String() == "" {
+			t.Fatal("empty action string")
+		}
+	}
+}
+
+func TestRuleEngineStreaks(t *testing.T) {
+	e := &RuleEngine{Rules: []*Rule{
+		{Name: "scale-up", Metric: "cpu", Above: true, Threshold: 0.8, Periods: 2, Action: ActionAddNode},
+		{Name: "scale-down", Metric: "cpu", Above: false, Threshold: 0.2, Periods: 3, Action: ActionRemoveNode},
+	}}
+	hot := metrics.SystemMetrics{CPUUtilization: 0.9}
+	cold := metrics.SystemMetrics{CPUUtilization: 0.1}
+	if e.Evaluate(hot) != ActionNone {
+		t.Fatal("fired before streak complete")
+	}
+	if e.Evaluate(hot) != ActionAddNode {
+		t.Fatal("did not fire after streak")
+	}
+	// Streak reset after firing.
+	if e.Evaluate(hot) != ActionNone {
+		t.Fatal("no reset after firing")
+	}
+	// Broken streaks reset.
+	e.Evaluate(cold)
+	e.Evaluate(cold)
+	e.Evaluate(hot)
+	if e.Evaluate(cold) != ActionNone {
+		t.Fatal("broken streak counted")
+	}
+	e.Evaluate(cold)
+	if e.Evaluate(cold) != ActionRemoveNode {
+		t.Fatal("scale-down did not fire")
+	}
+}
+
+func TestRuleEngineMetrics(t *testing.T) {
+	e := &RuleEngine{Rules: []*Rule{
+		{Metric: "iowait", Above: true, Threshold: 0.5, Periods: 1, Action: ActionAddNode},
+		{Metric: "memory", Above: true, Threshold: 0.9, Periods: 1, Action: ActionAddNode},
+		{Metric: "bogus", Above: true, Threshold: 0.1, Periods: 1, Action: ActionRemoveNode},
+	}}
+	if e.Evaluate(metrics.SystemMetrics{IOWait: 0.7}) != ActionAddNode {
+		t.Fatal("iowait rule missed")
+	}
+	if e.Evaluate(metrics.SystemMetrics{MemoryUsage: 0.95}) != ActionAddNode {
+		t.Fatal("memory rule missed")
+	}
+	// Unknown metrics evaluate to 0 and never fire an Above rule.
+	if e.Evaluate(metrics.SystemMetrics{}) != ActionNone {
+		t.Fatal("bogus rule fired")
+	}
+}

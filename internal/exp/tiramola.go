@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"met/internal/autoscale"
+	"met/internal/hbase"
+	"met/internal/iaas"
+	"met/internal/sim"
+)
+
+// TiramolaRunner drives the baseline autoscaler over a Deployment the way
+// Section 6.4 describes: it watches system metrics only, adds a node when
+// the average CPU is high (after a VM boot delay) and removes one only
+// when every node is underutilized. Placement stays with the database's
+// random balancer — after every membership change the regions are
+// redistributed for even counts, destroying locality — and nodes are
+// never reconfigured nor compacted.
+type TiramolaRunner struct {
+	D          *Deployment
+	Controller *autoscale.Tiramola
+	Provider   *iaas.Provider
+	RNG        *sim.RNG
+
+	nameSeq int
+	// Adds and Removes record the membership actions taken.
+	Adds    []sim.Time
+	Removes []sim.Time
+}
+
+// NewTiramolaRunner assembles the baseline over a deployment.
+func NewTiramolaRunner(d *Deployment, params autoscale.Params, prov *iaas.Provider, rng *sim.RNG) *TiramolaRunner {
+	return &TiramolaRunner{
+		D:          d,
+		Controller: autoscale.NewTiramola(params),
+		Provider:   prov,
+		RNG:        rng,
+	}
+}
+
+// Start schedules the evaluation loop every 30 s until deadline.
+func (t *TiramolaRunner) Start(sched *sim.Scheduler, start, deadline sim.Time) {
+	sched.EachTick(start, 30*sim.Second, func(now sim.Time) bool {
+		if now > deadline {
+			return false
+		}
+		t.Tick(now)
+		return true
+	})
+}
+
+// Tick evaluates the thresholds against the latest modeled CPU.
+func (t *TiramolaRunner) Tick(now sim.Time) {
+	sol := t.D.LastSolution()
+	cpus := make(map[string]float64)
+	for name, n := range t.D.Model.Nodes {
+		if !n.Offline {
+			// Tiramola watches system metrics; a node pegged on disk
+			// I/O is as saturated as one pegged on CPU.
+			u := sol.NodeCPU[name]
+			if sol.NodeDisk[name] > u {
+				u = sol.NodeDisk[name]
+			}
+			cpus[name] = u
+		}
+	}
+	switch t.Controller.Evaluate(cpus) {
+	case autoscale.ActionAddNode:
+		t.addNode(now)
+	case autoscale.ActionRemoveNode:
+		t.removeNode(now)
+	}
+}
+
+func (t *TiramolaRunner) addNode(now sim.Time) {
+	name := fmt.Sprintf("rs-tira-%03d", t.nameSeq)
+	t.nameSeq++
+	ready := func() {
+		t.D.AddNode(name, hbase.DefaultServerConfig())
+		t.rebalance()
+		t.Adds = append(t.Adds, t.D.Sched.Now())
+	}
+	if t.Provider == nil {
+		ready()
+		return
+	}
+	if _, err := t.Provider.Launch(name, "m1.medium", func(*iaas.Instance) { ready() }); err != nil {
+		ready()
+	}
+}
+
+func (t *TiramolaRunner) removeNode(now sim.Time) {
+	// Tiramola retracts the most recently added instance.
+	var names []string
+	for n := range t.D.Model.Nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) <= 1 {
+		return
+	}
+	victim := names[len(names)-1]
+	// Its regions go back to the random balancer.
+	for r, host := range t.D.Model.Placement {
+		if host == victim {
+			dst := t.randomOtherNode(victim)
+			if dst != "" {
+				_ = t.D.MoveRegion(r, dst)
+			}
+		}
+	}
+	if err := t.D.RemoveNode(victim); err == nil {
+		t.Removes = append(t.Removes, now)
+		t.rebalance()
+	}
+}
+
+func (t *TiramolaRunner) randomOtherNode(exclude string) string {
+	var names []string
+	for n, node := range t.D.Model.Nodes {
+		if n != exclude && !node.Offline {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return ""
+	}
+	return names[t.RNG.Intn(len(names))]
+}
+
+// rebalance applies HBase's random balancer: even region counts, random
+// identity, locality destroyed for every region that moves.
+func (t *TiramolaRunner) rebalance() {
+	var nodes []string
+	for n, node := range t.D.Model.Nodes {
+		if !node.Offline {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Strings(nodes)
+	if len(nodes) == 0 {
+		return
+	}
+	var regions []string
+	for r := range t.D.Model.Placement {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	t.RNG.Shuffle(len(regions), func(i, j int) { regions[i], regions[j] = regions[j], regions[i] })
+	for i, r := range regions {
+		_ = t.D.MoveRegion(r, nodes[i%len(nodes)])
+	}
+}

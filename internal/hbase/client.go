@@ -1,0 +1,136 @@
+package hbase
+
+import (
+	"errors"
+	"fmt"
+
+	"met/internal/kv"
+)
+
+// ErrNotFound mirrors kv.ErrNotFound at the client surface.
+var ErrNotFound = kv.ErrNotFound
+
+// Client provides the put/get/delete/scan key-value interface of
+// Section 2, routing every operation to the region server currently
+// hosting the key's region. Like the real HBase client it consults the
+// master's metadata ("meta table") and retries once on a stale route.
+type Client struct {
+	master *Master
+}
+
+// NewClient returns a client bound to the cluster's master.
+func NewClient(m *Master) *Client { return &Client{master: m} }
+
+// route finds the server hosting the region for (table, key).
+func (c *Client) route(table, key string) (*RegionServer, *Region, error) {
+	t, err := c.master.Table(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := t.RegionFor(key)
+	if r == nil {
+		return nil, nil, fmt.Errorf("hbase: no region for key %q", key)
+	}
+	host, ok := c.master.HostOf(r.Name())
+	if !ok {
+		return nil, nil, fmt.Errorf("hbase: region %q unassigned", r.Name())
+	}
+	rs, err := c.master.Server(host)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rs, r, nil
+}
+
+// withRetry runs op, refreshing the route once if the first attempt hits
+// a moved region.
+func (c *Client) withRetry(table, key string, op func(rs *RegionServer) error) error {
+	rs, _, err := c.route(table, key)
+	if err != nil {
+		return err
+	}
+	err = op(rs)
+	if errors.Is(err, ErrWrongRegionServer) {
+		rs, _, err = c.route(table, key)
+		if err != nil {
+			return err
+		}
+		return op(rs)
+	}
+	return err
+}
+
+// Get returns the newest value of key, or ErrNotFound.
+func (c *Client) Get(table, key string) ([]byte, error) {
+	var out []byte
+	err := c.withRetry(table, key, func(rs *RegionServer) error {
+		v, err := rs.Get(table, key)
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// Put writes a value. Writes are atomic and immediately visible to
+// subsequent reads.
+func (c *Client) Put(table, key string, value []byte) error {
+	return c.withRetry(table, key, func(rs *RegionServer) error {
+		return rs.Put(table, key, value)
+	})
+}
+
+// Delete removes a key.
+func (c *Client) Delete(table, key string) error {
+	return c.withRetry(table, key, func(rs *RegionServer) error {
+		return rs.Delete(table, key)
+	})
+}
+
+// Scan returns up to limit entries with start <= key < end in key order,
+// stitching together per-region scans across servers.
+func (c *Client) Scan(table, start, end string, limit int) ([]kv.Entry, error) {
+	t, err := c.master.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	var out []kv.Entry
+	cursor := start
+	for {
+		if limit >= 0 && len(out) >= limit {
+			return out[:limit], nil
+		}
+		r := t.RegionFor(cursor)
+		if r == nil {
+			return out, nil
+		}
+		remaining := -1
+		if limit >= 0 {
+			remaining = limit - len(out)
+		}
+		var part []kv.Entry
+		err := c.withRetry(table, cursor, func(rs *RegionServer) error {
+			var err error
+			part, err = rs.Scan(table, cursor, end, remaining)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+		if r.EndKey() == "" || (end != "" && r.EndKey() >= end) {
+			return out, nil
+		}
+		cursor = r.EndKey()
+	}
+}
+
+// ReadModifyWrite implements YCSB's read-modify-write on a single row:
+// read the value, transform it, write it back. HBase offers record-level
+// atomicity only, which is all the paper's workloads require.
+func (c *Client) ReadModifyWrite(table, key string, modify func([]byte) []byte) error {
+	v, err := c.Get(table, key)
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	return c.Put(table, key, modify(v))
+}

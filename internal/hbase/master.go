@@ -1,0 +1,374 @@
+package hbase
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"met/internal/hdfs"
+	"met/internal/sim"
+)
+
+// ErrUnknownTable is returned for operations on absent tables.
+var ErrUnknownTable = errors.New("hbase: unknown table")
+
+// ErrUnknownServer is returned for operations on absent servers.
+var ErrUnknownServer = errors.New("hbase: unknown region server")
+
+// ErrNoServers is returned when the cluster has no running servers.
+var ErrNoServers = errors.New("hbase: no region servers")
+
+// Balancer decides where regions go. The paper contrasts HBase's
+// randomized out-of-the-box placement with informed strategies; both are
+// implemented behind this interface.
+type Balancer interface {
+	// Assign maps each region name to a server name. Implementations
+	// must assign every region to one of the given servers.
+	Assign(regions []string, servers []string) map[string]string
+}
+
+// RandomBalancer reproduces HBase's default randomized placement: it
+// evenly distributes the *number* of regions per server but is oblivious
+// to their load — precisely the behaviour the paper shows "leaves
+// performance to chance".
+type RandomBalancer struct {
+	// RNG drives the shuffle. A nil RNG yields deterministic
+	// round-robin (useful in tests).
+	RNG *sim.RNG
+}
+
+// Assign implements Balancer.
+func (b *RandomBalancer) Assign(regions []string, servers []string) map[string]string {
+	out := make(map[string]string, len(regions))
+	if len(servers) == 0 {
+		return out
+	}
+	shuffled := append([]string(nil), regions...)
+	sort.Strings(shuffled)
+	if b.RNG != nil {
+		b.RNG.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	}
+	for i, r := range shuffled {
+		out[r] = servers[i%len(servers)]
+	}
+	return out
+}
+
+// ManualBalancer applies a fixed mapping, the vehicle for the paper's
+// Manual-Homogeneous and Manual-Heterogeneous strategies (and for MeT's
+// computed placements). Regions missing from the plan fall back to
+// round-robin.
+type ManualBalancer struct {
+	Plan map[string]string
+}
+
+// Assign implements Balancer.
+func (b *ManualBalancer) Assign(regions []string, servers []string) map[string]string {
+	out := make(map[string]string, len(regions))
+	if len(servers) == 0 {
+		return out
+	}
+	i := 0
+	sorted := append([]string(nil), regions...)
+	sort.Strings(sorted)
+	for _, r := range sorted {
+		if s, ok := b.Plan[r]; ok {
+			out[r] = s
+			continue
+		}
+		out[r] = servers[i%len(servers)]
+		i++
+	}
+	return out
+}
+
+// Master is the cluster coordinator: table metadata, region-to-server
+// assignment, server membership, and balancing.
+type Master struct {
+	mu sync.Mutex
+
+	namenode *hdfs.Namenode
+	servers  map[string]*RegionServer
+	tables   map[string]*Table
+	// assignment maps region name -> server name.
+	assignment map[string]string
+	balancer   Balancer
+	moves      int64
+	splitSeq   int64
+}
+
+// NewMaster creates a master over the given namenode with the default
+// randomized balancer.
+func NewMaster(nn *hdfs.Namenode) *Master {
+	return &Master{
+		namenode:   nn,
+		servers:    make(map[string]*RegionServer),
+		tables:     make(map[string]*Table),
+		assignment: make(map[string]string),
+		balancer:   &RandomBalancer{},
+	}
+}
+
+// SetBalancer swaps the placement policy.
+func (m *Master) SetBalancer(b Balancer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.balancer = b
+}
+
+// Namenode exposes the underlying HDFS metadata service.
+func (m *Master) Namenode() *hdfs.Namenode { return m.namenode }
+
+// AddServer registers a new region server with the cluster.
+func (m *Master) AddServer(name string, cfg ServerConfig) (*RegionServer, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.servers[name]; ok {
+		return nil, fmt.Errorf("hbase: server %q already registered", name)
+	}
+	rs, err := NewRegionServer(name, cfg, m.namenode)
+	if err != nil {
+		return nil, err
+	}
+	m.servers[name] = rs
+	return rs, nil
+}
+
+// DecommissionServer drains a server's regions onto the remaining servers
+// (round-robin over least-loaded) and removes it from the cluster.
+func (m *Master) DecommissionServer(name string) error {
+	m.mu.Lock()
+	rs, ok := m.servers[name]
+	if !ok {
+		m.mu.Unlock()
+		return ErrUnknownServer
+	}
+	delete(m.servers, name)
+	var targets []*RegionServer
+	for _, s := range m.servers {
+		targets = append(targets, s)
+	}
+	m.mu.Unlock()
+	if len(targets) == 0 && rs.NumRegions() > 0 {
+		m.mu.Lock()
+		m.servers[name] = rs // restore; cannot strand regions
+		m.mu.Unlock()
+		return ErrNoServers
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Name() < targets[j].Name() })
+	for _, r := range rs.Regions() {
+		// Least regions first keeps counts balanced.
+		sort.SliceStable(targets, func(i, j int) bool { return targets[i].NumRegions() < targets[j].NumRegions() })
+		dst := targets[0]
+		rs.CloseRegion(r.Name())
+		dst.OpenRegion(r)
+		m.mu.Lock()
+		m.assignment[r.Name()] = dst.Name()
+		m.moves++
+		m.mu.Unlock()
+	}
+	rs.Stop()
+	m.namenode.RemoveDatanode(name)
+	return nil
+}
+
+// Server returns a registered server.
+func (m *Master) Server(name string) (*RegionServer, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.servers[name]
+	if !ok {
+		return nil, ErrUnknownServer
+	}
+	return rs, nil
+}
+
+// Servers returns all servers sorted by name.
+func (m *Master) Servers() []*RegionServer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*RegionServer, 0, len(m.servers))
+	for _, s := range m.servers {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// CreateTable creates a table pre-split into the given regions.
+// splitKeys must be sorted; n split keys produce n+1 regions.
+func (m *Master) CreateTable(name string, splitKeys []string) (*Table, error) {
+	m.mu.Lock()
+	if _, ok := m.tables[name]; ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("hbase: table %q exists", name)
+	}
+	if len(m.servers) == 0 {
+		m.mu.Unlock()
+		return nil, ErrNoServers
+	}
+	for i := 1; i < len(splitKeys); i++ {
+		if splitKeys[i] <= splitKeys[i-1] {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("hbase: split keys not strictly sorted at %d", i)
+		}
+	}
+	m.mu.Unlock()
+
+	t := newTable(name, splitKeys)
+	// Build the regions; store configs come from their first server, so
+	// assign first, then create each region with its host's parameters.
+	names := make([]string, 0, len(t.bounds))
+	for _, b := range t.bounds {
+		names = append(names, regionName(name, b.start))
+	}
+	m.mu.Lock()
+	serverNames := make([]string, 0, len(m.servers))
+	for sn := range m.servers {
+		serverNames = append(serverNames, sn)
+	}
+	sort.Strings(serverNames)
+	plan := m.balancer.Assign(names, serverNames)
+	m.mu.Unlock()
+
+	for _, b := range t.bounds {
+		rn := regionName(name, b.start)
+		host := plan[rn]
+		rs, err := m.Server(host)
+		if err != nil {
+			return nil, err
+		}
+		r := NewRegion(name, b.start, b.end, rs.storeConfig(rs.NumRegions()+1))
+		rs.OpenRegion(r)
+		t.addRegion(r)
+		m.mu.Lock()
+		m.assignment[r.Name()] = host
+		m.mu.Unlock()
+	}
+	m.mu.Lock()
+	m.tables[name] = t
+	m.mu.Unlock()
+	return t, nil
+}
+
+// Table returns table metadata.
+func (m *Master) Table(name string) (*Table, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tables[name]
+	if !ok {
+		return nil, ErrUnknownTable
+	}
+	return t, nil
+}
+
+// Tables returns all table names sorted.
+func (m *Master) Tables() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.tables))
+	for n := range m.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostOf returns the server currently hosting a region.
+func (m *Master) HostOf(regionName string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.assignment[regionName]
+	return s, ok
+}
+
+// Assignment returns a copy of the full region -> server map.
+func (m *Master) Assignment() map[string]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]string, len(m.assignment))
+	for k, v := range m.assignment {
+		out[k] = v
+	}
+	return out
+}
+
+// MoveRegion transfers a region between servers. The region's HDFS files
+// stay where they are, so the destination's locality index degrades until
+// a major compaction — the central mechanism of Sections 2 and 5.
+func (m *Master) MoveRegion(regionName, dstServer string) error {
+	m.mu.Lock()
+	src, ok := m.assignment[regionName]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("hbase: unknown region %q", regionName)
+	}
+	srcRS, okS := m.servers[src]
+	dstRS, okD := m.servers[dstServer]
+	m.mu.Unlock()
+	if !okS {
+		return fmt.Errorf("hbase: region %q host %q vanished", regionName, src)
+	}
+	if !okD {
+		return ErrUnknownServer
+	}
+	if src == dstServer {
+		return nil
+	}
+	r := srcRS.CloseRegion(regionName)
+	if r == nil {
+		return fmt.Errorf("hbase: region %q not open on %q", regionName, src)
+	}
+	dstRS.OpenRegion(r)
+	m.mu.Lock()
+	m.assignment[regionName] = dstServer
+	m.moves++
+	m.mu.Unlock()
+	return nil
+}
+
+// Moves returns the cumulative number of region moves, an actuation-cost
+// metric the Output Computation stage minimizes.
+func (m *Master) Moves() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.moves
+}
+
+// Rebalance re-runs the current balancer over all regions and applies the
+// resulting moves. It returns the number of regions moved.
+func (m *Master) Rebalance() (int, error) {
+	m.mu.Lock()
+	var regions []string
+	for r := range m.assignment {
+		regions = append(regions, r)
+	}
+	servers := make([]string, 0, len(m.servers))
+	for s := range m.servers {
+		servers = append(servers, s)
+	}
+	sort.Strings(regions)
+	sort.Strings(servers)
+	plan := m.balancer.Assign(regions, servers)
+	m.mu.Unlock()
+	if len(servers) == 0 {
+		return 0, ErrNoServers
+	}
+	moved := 0
+	for _, r := range regions {
+		dst := plan[r]
+		cur, _ := m.HostOf(r)
+		if dst != "" && dst != cur {
+			if err := m.MoveRegion(r, dst); err != nil {
+				return moved, err
+			}
+			moved++
+		}
+	}
+	return moved, nil
+}
+
+func regionName(table, startKey string) string {
+	return fmt.Sprintf("%s,%s", table, startKey)
+}

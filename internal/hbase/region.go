@@ -1,0 +1,129 @@
+package hbase
+
+import (
+	"fmt"
+	"sync"
+
+	"met/internal/kv"
+	"met/internal/metrics"
+)
+
+// Region is one horizontal partition of an HTable: the half-open key
+// range [StartKey, EndKey). It owns a kv.Store holding its data and the
+// request counters the Monitor samples.
+type Region struct {
+	mu sync.Mutex
+
+	name     string
+	table    string
+	startKey string
+	endKey   string // empty = unbounded
+
+	store    *kv.Store
+	files    []string // HDFS file names backing this region
+	requests metrics.RequestCounts
+	fileSeq  int
+}
+
+// NewRegion creates a region over a fresh store with the given engine
+// config (derived from the hosting server's ServerConfig).
+func NewRegion(table, startKey, endKey string, storeCfg kv.Config) *Region {
+	return newRegionNamed(fmt.Sprintf("%s,%s", table, startKey), table, startKey, endKey, storeCfg)
+}
+
+// newRegionNamed creates a region with an explicit name; splits use it to
+// mint daughter names distinct from the parent's (real HBase encodes a
+// region id for the same reason).
+func newRegionNamed(name, table, startKey, endKey string, storeCfg kv.Config) *Region {
+	return &Region{
+		name:     name,
+		table:    table,
+		startKey: startKey,
+		endKey:   endKey,
+		store:    kv.NewStore(storeCfg),
+	}
+}
+
+// Name returns the region identifier ("table,startKey").
+func (r *Region) Name() string { return r.name }
+
+// Table returns the owning table name.
+func (r *Region) Table() string { return r.table }
+
+// StartKey returns the inclusive lower bound of the region's range.
+func (r *Region) StartKey() string { return r.startKey }
+
+// EndKey returns the exclusive upper bound ("" = unbounded).
+func (r *Region) EndKey() string { return r.endKey }
+
+// Contains reports whether key falls in the region's range.
+func (r *Region) Contains(key string) bool {
+	if key < r.startKey {
+		return false
+	}
+	return r.endKey == "" || key < r.endKey
+}
+
+// Store exposes the backing engine (tests and the server use it).
+func (r *Region) Store() *kv.Store { return r.store }
+
+// Requests returns the cumulative request counters.
+func (r *Region) Requests() metrics.RequestCounts {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.requests
+}
+
+func (r *Region) countRead()  { r.mu.Lock(); r.requests.Reads++; r.mu.Unlock() }
+func (r *Region) countWrite() { r.mu.Lock(); r.requests.Writes++; r.mu.Unlock() }
+func (r *Region) countScan()  { r.mu.Lock(); r.requests.Scans++; r.mu.Unlock() }
+
+// DataBytes returns the approximate bytes held by the region.
+func (r *Region) DataBytes() int64 { return int64(r.store.DataBytes()) }
+
+// Files returns the HDFS file names currently backing the region.
+func (r *Region) Files() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.files...)
+}
+
+// nextFileName mints a unique HDFS name for a flush or compaction output.
+func (r *Region) nextFileName() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fileSeq++
+	return fmt.Sprintf("%s/hfile-%d", r.name, r.fileSeq)
+}
+
+func (r *Region) setFiles(files []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.files = files
+}
+
+func (r *Region) addFile(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.files = append(r.files, name)
+}
+
+// reopen replaces the backing store (used on server restart with a new
+// configuration): live entries are copied into a store built with the new
+// engine config. Real HBase re-reads HFiles from HDFS; the effect — a
+// cold cache and the same data — is identical.
+func (r *Region) reopen(storeCfg kv.Config) error {
+	entries, err := r.store.Scan(r.startKey, r.endKey, -1)
+	if err != nil {
+		return fmt.Errorf("hbase: reopen %s: %w", r.name, err)
+	}
+	ns := kv.NewStore(storeCfg)
+	for _, e := range entries {
+		if err := ns.Put(e.Key, e.Value); err != nil {
+			return fmt.Errorf("hbase: reopen %s: %w", r.name, err)
+		}
+	}
+	r.store.Close()
+	r.store = ns
+	return nil
+}

@@ -1,0 +1,346 @@
+package hbase
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"met/internal/hdfs"
+	"met/internal/kv"
+	"met/internal/metrics"
+)
+
+// Common region server errors.
+var (
+	// ErrWrongRegionServer is returned when a key's region is not
+	// hosted here (the client then refreshes its routing).
+	ErrWrongRegionServer = errors.New("hbase: region not hosted on this server")
+	// ErrServerStopped is returned while a server is down (e.g. during
+	// a reconfiguration restart).
+	ErrServerStopped = errors.New("hbase: region server stopped")
+)
+
+// RegionServer hosts a set of regions, applies one ServerConfig to all of
+// them, and is co-located with an HDFS datanode of the same name.
+type RegionServer struct {
+	mu sync.Mutex
+
+	name     string
+	cfg      ServerConfig
+	namenode *hdfs.Namenode
+	regions  map[string]*Region
+	cache    *kv.BlockCache // shared across the server's regions
+	requests metrics.RequestCounts
+	running  bool
+	restarts int
+
+	// flush bookkeeping for mirroring engine flushes into HDFS
+	lastFlushes map[string]int64
+	lastBytes   map[string]int64
+}
+
+// NewRegionServer creates a running server and registers its co-located
+// datanode with the namenode.
+func NewRegionServer(name string, cfg ServerConfig, nn *hdfs.Namenode) (*RegionServer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nn.AddDatanode(name)
+	return &RegionServer{
+		name:        name,
+		cfg:         cfg,
+		namenode:    nn,
+		regions:     make(map[string]*Region),
+		cache:       kv.NewBlockCache(int(cfg.BlockCacheBytes())),
+		running:     true,
+		lastFlushes: make(map[string]int64),
+		lastBytes:   make(map[string]int64),
+	}, nil
+}
+
+// Name returns the server's identity (also its datanode name).
+func (s *RegionServer) Name() string { return s.name }
+
+// Config returns the active configuration.
+func (s *RegionServer) Config() ServerConfig {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
+
+// Running reports whether the server is serving requests.
+func (s *RegionServer) Running() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// Restarts counts configuration restarts, an actuation-cost metric.
+func (s *RegionServer) Restarts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restarts
+}
+
+// storeConfig derives the kv engine config for one region hosted here.
+// The server's memstore budget is split across its regions (HBase bounds
+// the global memstore similarly); the block cache is shared.
+func (s *RegionServer) storeConfig(numRegions int) kv.Config {
+	if numRegions < 1 {
+		numRegions = 1
+	}
+	return kv.Config{
+		MemstoreFlushBytes: int(s.cfg.MemstoreBytes()) / numRegions,
+		BlockBytes:         s.cfg.BlockBytes,
+		Cache:              s.cache,
+		Seed:               uint64(len(s.name)) + uint64(numRegions),
+	}
+}
+
+// OpenRegion starts hosting a region. The region's store keeps its data;
+// only bookkeeping changes hands.
+func (s *RegionServer) OpenRegion(r *Region) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.regions[r.Name()] = r
+	st := r.Store().Stats()
+	s.lastFlushes[r.Name()] = st.Flushes
+	s.lastBytes[r.Name()] = st.FlushedBytes
+}
+
+// CloseRegion stops hosting a region and returns it (nil when absent).
+func (s *RegionServer) CloseRegion(name string) *Region {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.regions[name]
+	delete(s.regions, name)
+	delete(s.lastFlushes, name)
+	delete(s.lastBytes, name)
+	return r
+}
+
+// Regions returns the hosted regions sorted by name.
+func (s *RegionServer) Regions() []*Region {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Region, 0, len(s.regions))
+	for _, r := range s.regions {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// NumRegions returns the hosted region count.
+func (s *RegionServer) NumRegions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.regions)
+}
+
+// lookup locates the hosted region containing key for table.
+func (s *RegionServer) lookup(table, key string) (*Region, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.running {
+		return nil, ErrServerStopped
+	}
+	for _, r := range s.regions {
+		if r.Table() == table && r.Contains(key) {
+			return r, nil
+		}
+	}
+	return nil, ErrWrongRegionServer
+}
+
+// Get reads the newest value of key.
+func (s *RegionServer) Get(table, key string) ([]byte, error) {
+	r, err := s.lookup(table, key)
+	if err != nil {
+		return nil, err
+	}
+	r.countRead()
+	s.mu.Lock()
+	s.requests.Reads++
+	s.mu.Unlock()
+	return r.Store().Get(key)
+}
+
+// Put writes a value and mirrors any resulting engine flush into HDFS.
+func (s *RegionServer) Put(table, key string, value []byte) error {
+	r, err := s.lookup(table, key)
+	if err != nil {
+		return err
+	}
+	r.countWrite()
+	s.mu.Lock()
+	s.requests.Writes++
+	s.mu.Unlock()
+	if err := r.Store().Put(key, value); err != nil {
+		return err
+	}
+	s.mirrorFlushes(r)
+	return nil
+}
+
+// Delete removes a key.
+func (s *RegionServer) Delete(table, key string) error {
+	r, err := s.lookup(table, key)
+	if err != nil {
+		return err
+	}
+	r.countWrite()
+	s.mu.Lock()
+	s.requests.Writes++
+	s.mu.Unlock()
+	if err := r.Store().Delete(key); err != nil {
+		return err
+	}
+	s.mirrorFlushes(r)
+	return nil
+}
+
+// Scan reads up to limit entries in [start, end) within one region. The
+// client stitches multi-region scans together.
+func (s *RegionServer) Scan(table, start, end string, limit int) ([]kv.Entry, error) {
+	r, err := s.lookup(table, start)
+	if err != nil {
+		return nil, err
+	}
+	r.countScan()
+	s.mu.Lock()
+	s.requests.Scans++
+	s.mu.Unlock()
+	scanEnd := end
+	if r.EndKey() != "" && (scanEnd == "" || r.EndKey() < scanEnd) {
+		scanEnd = r.EndKey()
+	}
+	return r.Store().Scan(start, scanEnd, limit)
+}
+
+// mirrorFlushes records newly flushed engine bytes as HDFS files written
+// locally to this server, so the namenode's locality index tracks where
+// each region's data physically lives. Engine-internal minor compactions
+// are not mirrored file-by-file; locality fidelity is at flush/compact
+// granularity, which is what the paper's index measures.
+func (s *RegionServer) mirrorFlushes(r *Region) {
+	st := r.Store().Stats()
+	s.mu.Lock()
+	prevFlushes := s.lastFlushes[r.Name()]
+	prevBytes := s.lastBytes[r.Name()]
+	if st.Flushes > prevFlushes {
+		s.lastFlushes[r.Name()] = st.Flushes
+		s.lastBytes[r.Name()] = st.FlushedBytes
+	}
+	name := s.name
+	s.mu.Unlock()
+	if st.Flushes > prevFlushes {
+		file := r.nextFileName()
+		size := st.FlushedBytes - prevBytes
+		if size <= 0 {
+			size = 1
+		}
+		if err := s.namenode.WriteFile(file, size, name); err == nil {
+			r.addFile(file)
+		}
+	}
+}
+
+// MajorCompact rewrites all of a region's files as one file local to this
+// server, restoring locality — exactly what MeT's Actuator invokes when
+// the locality index falls below its threshold. It returns the number of
+// bytes rewritten (the paper charges ~1 minute per GB for this).
+func (s *RegionServer) MajorCompact(regionName string) (int64, error) {
+	s.mu.Lock()
+	r, ok := s.regions[regionName]
+	name := s.name
+	s.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("hbase: major compact: region %q not hosted on %s", regionName, name)
+	}
+	r.Store().Compact(true)
+	for _, f := range r.Files() {
+		_ = s.namenode.DeleteFile(f)
+	}
+	size := r.DataBytes()
+	if size <= 0 {
+		r.setFiles(nil)
+		return 0, nil
+	}
+	file := r.nextFileName()
+	if err := s.namenode.WriteFile(file, size, name); err != nil {
+		return 0, err
+	}
+	r.setFiles([]string{file})
+	return size, nil
+}
+
+// Locality returns this server's locality index: the fraction of hosted
+// region bytes whose HDFS blocks live on the co-located datanode.
+func (s *RegionServer) Locality() float64 {
+	var files []string
+	for _, r := range s.Regions() {
+		files = append(files, r.Files()...)
+	}
+	return s.namenode.Locality(s.name, files)
+}
+
+// Requests returns the server-level cumulative counters.
+func (s *RegionServer) Requests() metrics.RequestCounts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// Stop takes the server offline (requests fail until Start).
+func (s *RegionServer) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running = false
+}
+
+// Start brings the server back online.
+func (s *RegionServer) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running = true
+}
+
+// Restart applies a new configuration. As in real HBase there is no
+// online reconfiguration: the server stops, every hosted region's store
+// is reopened with the new engine parameters (cold cache), and the server
+// comes back up. The caller (the Actuator) is responsible for draining
+// regions first if it wants to keep them available during the restart.
+func (s *RegionServer) Restart(cfg ServerConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.running = false
+	s.cfg = cfg
+	s.cache = kv.NewBlockCache(int(cfg.BlockCacheBytes()))
+	regions := make([]*Region, 0, len(s.regions))
+	for _, r := range s.regions {
+		regions = append(regions, r)
+	}
+	n := len(regions)
+	s.mu.Unlock()
+
+	sort.Slice(regions, func(i, j int) bool { return regions[i].Name() < regions[j].Name() })
+	for _, r := range regions {
+		if err := r.reopen(s.storeConfig(n)); err != nil {
+			return err
+		}
+		st := r.Store().Stats()
+		s.mu.Lock()
+		s.lastFlushes[r.Name()] = st.Flushes
+		s.lastBytes[r.Name()] = st.FlushedBytes
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.restarts++
+	s.running = true
+	s.mu.Unlock()
+	return nil
+}

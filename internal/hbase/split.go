@@ -1,0 +1,117 @@
+package hbase
+
+import (
+	"fmt"
+)
+
+// DefaultSplitThresholdBytes is HBase's default automatic-partitioning
+// threshold the paper cites (a region splits when it grows past 250 MB).
+const DefaultSplitThresholdBytes = 250 << 20
+
+// SplitRegion splits a region at the median of its live keys into two
+// daughter regions hosted by the same server, reproducing HBase's
+// automatic partitioning (Section 2: "the automatic partitioning of a
+// HTable occurs when it grows to a parametrized size"). The parent's
+// HDFS files are released; daughters write their own on their next
+// flush or compaction.
+func (m *Master) SplitRegion(regionName string) error {
+	host, ok := m.HostOf(regionName)
+	if !ok {
+		return fmt.Errorf("hbase: split: unknown region %q", regionName)
+	}
+	rs, err := m.Server(host)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	var tbl *Table
+	for _, t := range m.tables {
+		for _, r := range t.Regions() {
+			if r.Name() == regionName {
+				tbl = t
+			}
+		}
+	}
+	m.mu.Unlock()
+	if tbl == nil {
+		return fmt.Errorf("hbase: split: region %q has no table", regionName)
+	}
+	parent := rs.CloseRegion(regionName)
+	if parent == nil {
+		return fmt.Errorf("hbase: split: region %q not open on %q", regionName, host)
+	}
+	reopen := func() {
+		rs.OpenRegion(parent)
+	}
+
+	entries, err := parent.Store().Scan(parent.StartKey(), parent.EndKey(), -1)
+	if err != nil {
+		reopen()
+		return fmt.Errorf("hbase: split %s: %w", regionName, err)
+	}
+	if len(entries) < 2 {
+		reopen()
+		return fmt.Errorf("hbase: split %s: too little data to split", regionName)
+	}
+	mid := entries[len(entries)/2].Key
+	if mid == parent.StartKey() {
+		reopen()
+		return fmt.Errorf("hbase: split %s: degenerate split key", regionName)
+	}
+
+	cfg := rs.storeConfig(rs.NumRegions() + 2)
+	m.mu.Lock()
+	m.splitSeq++
+	gen := m.splitSeq
+	m.mu.Unlock()
+	lo := newRegionNamed(fmt.Sprintf("%s,%s.%d", parent.Table(), parent.StartKey(), gen),
+		parent.Table(), parent.StartKey(), mid, cfg)
+	hi := newRegionNamed(fmt.Sprintf("%s,%s.%d", parent.Table(), mid, gen),
+		parent.Table(), mid, parent.EndKey(), cfg)
+	for _, e := range entries {
+		dst := lo
+		if e.Key >= mid {
+			dst = hi
+		}
+		if err := dst.Store().Put(e.Key, e.Value); err != nil {
+			reopen()
+			return fmt.Errorf("hbase: split %s: %w", regionName, err)
+		}
+	}
+	// Release the parent's HDFS files; the daughters start clean.
+	for _, f := range parent.Files() {
+		_ = m.namenode.DeleteFile(f)
+	}
+	tbl.replaceRegion(parent, lo, hi)
+	rs.OpenRegion(lo)
+	rs.OpenRegion(hi)
+	m.mu.Lock()
+	delete(m.assignment, regionName)
+	m.assignment[lo.Name()] = host
+	m.assignment[hi.Name()] = host
+	m.mu.Unlock()
+	return nil
+}
+
+// AutoSplit scans every table and splits regions larger than threshold
+// bytes (<= 0 uses the 250 MB default). It returns the regions split.
+func (m *Master) AutoSplit(threshold int64) []string {
+	if threshold <= 0 {
+		threshold = DefaultSplitThresholdBytes
+	}
+	var split []string
+	for _, name := range m.Tables() {
+		t, err := m.Table(name)
+		if err != nil {
+			continue
+		}
+		for _, r := range t.Regions() {
+			if r.DataBytes() > threshold {
+				if err := m.SplitRegion(r.Name()); err == nil {
+					split = append(split, r.Name())
+				}
+			}
+		}
+	}
+	return split
+}

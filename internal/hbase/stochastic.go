@@ -1,0 +1,142 @@
+package hbase
+
+import (
+	"sort"
+
+	"met/internal/metrics"
+	"met/internal/sim"
+)
+
+// StochasticBalancer approximates the StochasticLoadBalancer the paper's
+// Section 8 discusses as HBase's then-upcoming improvement over the
+// random balancer: it performs a randomized local search over
+// assignments, scoring each candidate with a weighted cost of region
+// count skew, request-load skew and locality loss, and keeps the best
+// plan found. As the paper argues, it improves on random placement but
+// remains homogeneous and workload-type-oblivious — MeT's heterogeneous
+// grouping goes further.
+type StochasticBalancer struct {
+	// RNG drives the search; nil makes the balancer deterministic
+	// (greedy from the sorted order).
+	RNG *sim.RNG
+	// Steps bounds the local search (default 2000).
+	Steps int
+	// LoadOf supplies per-region request counts; regions without an
+	// entry weigh 0. Typically wired to Region.Requests snapshots.
+	LoadOf func(region string) metrics.RequestCounts
+	// LocalityOf reports how local a region would be on a node (0..1);
+	// nil treats every placement as fully local.
+	LocalityOf func(region, node string) float64
+	// Weights for the three cost components (defaults 1, 2, 1).
+	CountWeight, LoadWeight, LocalityWeight float64
+}
+
+// Assign implements Balancer.
+func (b *StochasticBalancer) Assign(regions []string, servers []string) map[string]string {
+	out := make(map[string]string, len(regions))
+	if len(servers) == 0 || len(regions) == 0 {
+		return out
+	}
+	sorted := append([]string(nil), regions...)
+	sort.Strings(sorted)
+	nodes := append([]string(nil), servers...)
+	sort.Strings(nodes)
+
+	// Start from round-robin (count-balanced).
+	cur := make(map[string]string, len(sorted))
+	for i, r := range sorted {
+		cur[r] = nodes[i%len(nodes)]
+	}
+	best := clonePlan(cur)
+	bestCost := b.cost(best, nodes)
+
+	steps := b.Steps
+	if steps <= 0 {
+		steps = 2000
+	}
+	if b.RNG == nil {
+		// Deterministic fallback: a single greedy pass moving each
+		// region to its cost-minimizing node.
+		for _, r := range sorted {
+			orig := cur[r]
+			for _, n := range nodes {
+				cur[r] = n
+				if c := b.cost(cur, nodes); c < bestCost {
+					bestCost = c
+					best = clonePlan(cur)
+				} else {
+					cur[r] = orig
+				}
+			}
+		}
+		return best
+	}
+	for i := 0; i < steps; i++ {
+		r := sorted[b.RNG.Intn(len(sorted))]
+		orig := cur[r]
+		cand := nodes[b.RNG.Intn(len(nodes))]
+		if cand == orig {
+			continue
+		}
+		cur[r] = cand
+		if c := b.cost(cur, nodes); c < bestCost {
+			bestCost = c
+			best = clonePlan(cur)
+		} else {
+			cur[r] = orig // hill climbing: only keep improvements
+		}
+	}
+	return best
+}
+
+// cost scores a plan: lower is better.
+func (b *StochasticBalancer) cost(plan map[string]string, nodes []string) float64 {
+	countW, loadW, localW := b.CountWeight, b.LoadWeight, b.LocalityWeight
+	if countW == 0 && loadW == 0 && localW == 0 {
+		countW, loadW, localW = 1, 2, 1
+	}
+	counts := make(map[string]float64, len(nodes))
+	loads := make(map[string]float64, len(nodes))
+	localityLoss := 0.0
+	for r, n := range plan {
+		counts[n]++
+		if b.LoadOf != nil {
+			loads[n] += float64(b.LoadOf(r).Total())
+		}
+		if b.LocalityOf != nil {
+			localityLoss += 1 - b.LocalityOf(r, n)
+		}
+	}
+	return countW*spread(counts, nodes) + loadW*spread(loads, nodes) + localW*localityLoss
+}
+
+// spread is the normalized max-minus-min across nodes.
+func spread(m map[string]float64, nodes []string) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	minV, maxV := m[nodes[0]], m[nodes[0]]
+	var sum float64
+	for _, n := range nodes {
+		v := m[n]
+		sum += v
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return (maxV - minV) / (sum / float64(len(nodes)))
+}
+
+func clonePlan(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

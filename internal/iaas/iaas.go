@@ -1,0 +1,206 @@
+// Package iaas simulates the OpenStack layer MeT uses as its basic
+// provider of elasticity: asynchronous instance provisioning with a
+// realistic boot delay, termination, flavors, and a quota. The Actuator
+// requests machines here before it can start region servers on them,
+// which is why node additions in Figures 5 and 6 take effect one to two
+// minutes after the decision.
+package iaas
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"met/internal/sim"
+)
+
+// Instance lifecycle states.
+type State int
+
+// States an instance moves through: Booting -> Active -> Terminated.
+const (
+	Booting State = iota
+	Active
+	Terminated
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Booting:
+		return "BOOTING"
+	case Active:
+		return "ACTIVE"
+	case Terminated:
+		return "TERMINATED"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Common errors.
+var (
+	// ErrQuotaExceeded is returned when launching past the quota.
+	ErrQuotaExceeded = errors.New("iaas: instance quota exceeded")
+	// ErrUnknownInstance is returned for absent instance ids.
+	ErrUnknownInstance = errors.New("iaas: unknown instance")
+	// ErrUnknownFlavor is returned for unregistered flavors.
+	ErrUnknownFlavor = errors.New("iaas: unknown flavor")
+)
+
+// Flavor describes an instance size (the paper uses 3 GB RAM VMs).
+type Flavor struct {
+	Name     string
+	VCPUs    int
+	RAMBytes int64
+	DiskMBps float64 // local disk bandwidth
+}
+
+// Instance is one virtual machine.
+type Instance struct {
+	ID     string
+	Name   string
+	Flavor Flavor
+	State  State
+	// LaunchedAt and ActiveAt bracket the boot delay.
+	LaunchedAt sim.Time
+	ActiveAt   sim.Time
+}
+
+// Provider is the simulated OpenStack endpoint.
+type Provider struct {
+	sched     *sim.Scheduler
+	bootDelay sim.Time
+	quota     int
+	flavors   map[string]Flavor
+	instances map[string]*Instance
+	seq       int
+	// onActive callbacks fire when an instance finishes booting.
+	onActive map[string]func(*Instance)
+}
+
+// NewProvider creates a provider on the given scheduler. bootDelay is how
+// long a VM takes from launch to ACTIVE (60–120 s is typical; the paper's
+// node-addition lag). quota <= 0 means unlimited.
+func NewProvider(sched *sim.Scheduler, bootDelay sim.Time, quota int) *Provider {
+	p := &Provider{
+		sched:     sched,
+		bootDelay: bootDelay,
+		quota:     quota,
+		flavors:   make(map[string]Flavor),
+		instances: make(map[string]*Instance),
+		onActive:  make(map[string]func(*Instance)),
+	}
+	p.RegisterFlavor(Flavor{Name: "m1.medium", VCPUs: 2, RAMBytes: 3 << 30, DiskMBps: 100})
+	return p
+}
+
+// RegisterFlavor adds (or replaces) a flavor.
+func (p *Provider) RegisterFlavor(f Flavor) { p.flavors[f.Name] = f }
+
+// Flavors lists registered flavor names, sorted.
+func (p *Provider) Flavors() []string {
+	out := make([]string, 0, len(p.flavors))
+	for n := range p.flavors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Launch provisions a new instance asynchronously. onActive (optional)
+// fires on the scheduler when the instance becomes ACTIVE.
+func (p *Provider) Launch(name, flavor string, onActive func(*Instance)) (*Instance, error) {
+	f, ok := p.flavors[flavor]
+	if !ok {
+		return nil, ErrUnknownFlavor
+	}
+	if p.quota > 0 && p.countLive() >= p.quota {
+		return nil, ErrQuotaExceeded
+	}
+	p.seq++
+	inst := &Instance{
+		ID:         fmt.Sprintf("vm-%04d", p.seq),
+		Name:       name,
+		Flavor:     f,
+		State:      Booting,
+		LaunchedAt: p.sched.Now(),
+	}
+	p.instances[inst.ID] = inst
+	if onActive != nil {
+		p.onActive[inst.ID] = onActive
+	}
+	id := inst.ID
+	p.sched.ScheduleAfter(p.bootDelay, func(now sim.Time) {
+		i, ok := p.instances[id]
+		if !ok || i.State != Booting {
+			return // terminated while booting
+		}
+		i.State = Active
+		i.ActiveAt = now
+		if cb, ok := p.onActive[id]; ok {
+			delete(p.onActive, id)
+			cb(i)
+		}
+	})
+	return inst, nil
+}
+
+// Terminate shuts an instance down immediately.
+func (p *Provider) Terminate(id string) error {
+	inst, ok := p.instances[id]
+	if !ok {
+		return ErrUnknownInstance
+	}
+	inst.State = Terminated
+	delete(p.onActive, id)
+	return nil
+}
+
+// Get returns an instance by id.
+func (p *Provider) Get(id string) (*Instance, error) {
+	inst, ok := p.instances[id]
+	if !ok {
+		return nil, ErrUnknownInstance
+	}
+	return inst, nil
+}
+
+// List returns all non-terminated instances sorted by id.
+func (p *Provider) List() []*Instance {
+	var out []*Instance
+	for _, i := range p.instances {
+		if i.State != Terminated {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CountActive returns the number of ACTIVE instances.
+func (p *Provider) CountActive() int {
+	n := 0
+	for _, i := range p.instances {
+		if i.State == Active {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *Provider) countLive() int {
+	n := 0
+	for _, i := range p.instances {
+		if i.State != Terminated {
+			n++
+		}
+	}
+	return n
+}
+
+// Quota returns the configured quota (0 = unlimited).
+func (p *Provider) Quota() int { return p.quota }
+
+// BootDelay returns the provisioning latency.
+func (p *Provider) BootDelay() sim.Time { return p.bootDelay }

@@ -1,0 +1,137 @@
+package iaas
+
+import (
+	"errors"
+	"testing"
+
+	"met/internal/sim"
+)
+
+func TestLaunchBecomesActiveAfterBoot(t *testing.T) {
+	s := sim.NewScheduler()
+	p := NewProvider(s, 90*sim.Second, 0)
+	var activeAt sim.Time
+	inst, err := p.Launch("rs5", "m1.medium", func(i *Instance) { activeAt = i.ActiveAt })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.State != Booting {
+		t.Fatalf("state = %v", inst.State)
+	}
+	s.RunUntil(89 * sim.Second)
+	if inst.State != Booting {
+		t.Fatal("active before boot delay")
+	}
+	s.RunUntil(91 * sim.Second)
+	if inst.State != Active {
+		t.Fatalf("state = %v after boot", inst.State)
+	}
+	if activeAt != 90*sim.Second {
+		t.Fatalf("callback at %v", activeAt)
+	}
+	if p.CountActive() != 1 {
+		t.Fatalf("active = %d", p.CountActive())
+	}
+}
+
+func TestLaunchUnknownFlavor(t *testing.T) {
+	p := NewProvider(sim.NewScheduler(), sim.Second, 0)
+	if _, err := p.Launch("x", "m1.nope", nil); !errors.Is(err, ErrUnknownFlavor) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuota(t *testing.T) {
+	s := sim.NewScheduler()
+	p := NewProvider(s, sim.Second, 2)
+	if _, err := p.Launch("a", "m1.medium", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Launch("b", "m1.medium", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Launch("c", "m1.medium", nil); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	// Terminating frees quota.
+	insts := p.List()
+	if err := p.Terminate(insts[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Launch("c", "m1.medium", nil); err != nil {
+		t.Fatalf("post-terminate launch err = %v", err)
+	}
+}
+
+func TestTerminateWhileBootingCancelsCallback(t *testing.T) {
+	s := sim.NewScheduler()
+	p := NewProvider(s, 10*sim.Second, 0)
+	fired := false
+	inst, _ := p.Launch("x", "m1.medium", func(*Instance) { fired = true })
+	p.Terminate(inst.ID)
+	s.RunUntil(20 * sim.Second)
+	if fired {
+		t.Fatal("callback fired for terminated instance")
+	}
+	if inst.State != Terminated {
+		t.Fatalf("state = %v", inst.State)
+	}
+}
+
+func TestTerminateUnknown(t *testing.T) {
+	p := NewProvider(sim.NewScheduler(), sim.Second, 0)
+	if err := p.Terminate("vm-9999"); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := p.Get("vm-9999"); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListSortedAndExcludesTerminated(t *testing.T) {
+	s := sim.NewScheduler()
+	p := NewProvider(s, sim.Second, 0)
+	a, _ := p.Launch("a", "m1.medium", nil)
+	p.Launch("b", "m1.medium", nil)
+	p.Launch("c", "m1.medium", nil)
+	p.Terminate(a.ID)
+	list := p.List()
+	if len(list) != 2 {
+		t.Fatalf("list = %d", len(list))
+	}
+	if list[0].ID >= list[1].ID {
+		t.Fatal("unsorted list")
+	}
+}
+
+func TestCustomFlavor(t *testing.T) {
+	p := NewProvider(sim.NewScheduler(), sim.Second, 0)
+	p.RegisterFlavor(Flavor{Name: "m1.large", VCPUs: 4, RAMBytes: 8 << 30, DiskMBps: 200})
+	inst, err := p.Launch("big", "m1.large", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Flavor.VCPUs != 4 {
+		t.Fatalf("flavor = %+v", inst.Flavor)
+	}
+	flavors := p.Flavors()
+	if len(flavors) != 2 || flavors[0] != "m1.large" {
+		t.Fatalf("flavors = %v", flavors)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Booting.String() != "BOOTING" || Active.String() != "ACTIVE" || Terminated.String() != "TERMINATED" {
+		t.Fatal("state strings wrong")
+	}
+	if State(42).String() == "" {
+		t.Fatal("unknown state empty")
+	}
+}
+
+func TestProviderAccessors(t *testing.T) {
+	p := NewProvider(sim.NewScheduler(), 75*sim.Second, 11)
+	if p.BootDelay() != 75*sim.Second || p.Quota() != 11 {
+		t.Fatal("accessors wrong")
+	}
+}

@@ -1,0 +1,205 @@
+package kv
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Block is one unit of a store file: a run of consecutive entries that is
+// loaded (and cached) as a whole. The configured block size trades random
+// reads (small blocks load less extraneous data) against sequential scans
+// (large blocks amortize per-block overhead), mirroring HBase's HFile
+// block size knob.
+type Block struct {
+	entries []Entry
+	bytes   int
+}
+
+// Len returns the number of entries in the block.
+func (b *Block) Len() int { return len(b.entries) }
+
+// Bytes returns the approximate byte size of the block.
+func (b *Block) Bytes() int { return b.bytes }
+
+// StoreFile is an immutable sorted file produced by a memstore flush or a
+// compaction. Entries are partitioned into blocks; a sparse index maps
+// the first key of each block. StoreFile corresponds to an HBase HFile.
+type StoreFile struct {
+	id        uint64
+	blocks    []*Block
+	firstKeys []string // firstKeys[i] is blocks[i].entries[0].Key
+	minKey    string
+	maxKey    string
+	entries   int
+	bytes     int
+	maxTS     uint64
+}
+
+// BuildStoreFile packs sorted entries (key asc, timestamp desc) into a
+// file with blocks of at most blockSize bytes. It panics when entries are
+// unsorted: store files are only ever built from sorted iterators, so
+// unsorted input means engine corruption.
+func BuildStoreFile(id uint64, entries []Entry, blockSize int) *StoreFile {
+	if blockSize <= 0 {
+		blockSize = 64 * 1024
+	}
+	f := &StoreFile{id: id}
+	var cur *Block
+	for i, e := range entries {
+		if i > 0 && less(e, entries[i-1]) {
+			panic(fmt.Sprintf("kv: unsorted entries building file %d", id))
+		}
+		if cur == nil || (cur.bytes+e.Size() > blockSize && cur.Len() > 0) {
+			cur = &Block{}
+			f.blocks = append(f.blocks, cur)
+			f.firstKeys = append(f.firstKeys, e.Key)
+		}
+		cur.entries = append(cur.entries, e)
+		cur.bytes += e.Size()
+		f.bytes += e.Size()
+		f.entries++
+		if e.Timestamp > f.maxTS {
+			f.maxTS = e.Timestamp
+		}
+	}
+	if f.entries > 0 {
+		f.minKey = entries[0].Key
+		f.maxKey = entries[len(entries)-1].Key
+	}
+	return f
+}
+
+// ID returns the file's unique identifier.
+func (f *StoreFile) ID() uint64 { return f.id }
+
+// Bytes returns the file's total data size.
+func (f *StoreFile) Bytes() int { return f.bytes }
+
+// Entries returns the number of entry versions stored.
+func (f *StoreFile) Entries() int { return f.entries }
+
+// NumBlocks returns the number of blocks.
+func (f *StoreFile) NumBlocks() int { return len(f.blocks) }
+
+// KeyRange returns the smallest and largest keys in the file.
+func (f *StoreFile) KeyRange() (minKey, maxKey string) { return f.minKey, f.maxKey }
+
+// MaxTimestamp returns the newest timestamp in the file.
+func (f *StoreFile) MaxTimestamp() uint64 { return f.maxTS }
+
+// blockFor returns the index of the block that could contain key, or -1
+// when the key is out of range.
+func (f *StoreFile) blockFor(key string) int {
+	if f.entries == 0 || key > f.maxKey {
+		return -1
+	}
+	// The first block whose first key is > key is one past the target.
+	i := sort.SearchStrings(f.firstKeys, key)
+	if i < len(f.firstKeys) && f.firstKeys[i] == key {
+		return i
+	}
+	if i == 0 {
+		if key < f.minKey {
+			return -1
+		}
+		return 0
+	}
+	return i - 1
+}
+
+// get looks up the newest version of key, loading the candidate block
+// through the cache. found=false means the key is not in this file.
+func (f *StoreFile) get(key string, cache *BlockCache, stats *Stats) (Entry, bool) {
+	bi := f.blockFor(key)
+	if bi < 0 {
+		return Entry{}, false
+	}
+	b := f.loadBlock(bi, cache, stats)
+	// Entries are (key asc, ts desc); find first entry >= (key, maxTS).
+	probe := Entry{Key: key, Timestamp: ^uint64(0)}
+	i := sort.Search(len(b.entries), func(i int) bool { return !less(b.entries[i], probe) })
+	if i < len(b.entries) && b.entries[i].Key == key {
+		return b.entries[i], true
+	}
+	return Entry{}, false
+}
+
+// loadBlock fetches block bi through the cache, recording hit/miss stats.
+func (f *StoreFile) loadBlock(bi int, cache *BlockCache, stats *Stats) *Block {
+	if cache == nil {
+		if stats != nil {
+			stats.CacheMisses++
+			stats.BlocksRead++
+		}
+		return f.blocks[bi]
+	}
+	key := blockKey{file: f.id, block: bi}
+	if b, ok := cache.get(key); ok {
+		if stats != nil {
+			stats.CacheHits++
+		}
+		return b
+	}
+	b := f.blocks[bi]
+	cache.put(key, b)
+	if stats != nil {
+		stats.CacheMisses++
+		stats.BlocksRead++
+	}
+	return b
+}
+
+// iterator walks the whole file in order, loading blocks through cache.
+func (f *StoreFile) iterator(cache *BlockCache, stats *Stats) Iterator {
+	return &fileIter{f: f, cache: cache, stats: stats, block: -1}
+}
+
+// iteratorFrom positions at the first entry with key >= start.
+func (f *StoreFile) iteratorFrom(start string, cache *BlockCache, stats *Stats) Iterator {
+	it := &fileIter{f: f, cache: cache, stats: stats, block: -1}
+	if f.entries == 0 || start > f.maxKey {
+		it.block = len(f.blocks) // exhausted
+		return it
+	}
+	bi := f.blockFor(start)
+	if bi < 0 {
+		bi = 0
+	}
+	it.block = bi
+	it.cur = f.loadBlock(bi, cache, stats)
+	probe := Entry{Key: start, Timestamp: ^uint64(0)}
+	it.idx = sort.Search(len(it.cur.entries), func(i int) bool { return !less(it.cur.entries[i], probe) }) - 1
+	return it
+}
+
+type fileIter struct {
+	f     *StoreFile
+	cache *BlockCache
+	stats *Stats
+	block int
+	cur   *Block
+	idx   int
+}
+
+func (it *fileIter) Next() bool {
+	for {
+		if it.block >= len(it.f.blocks) {
+			return false
+		}
+		if it.cur == nil || it.idx+1 >= len(it.cur.entries) {
+			it.block++
+			if it.block >= len(it.f.blocks) {
+				return false
+			}
+			it.cur = it.f.loadBlock(it.block, it.cache, it.stats)
+			it.idx = -1
+			if len(it.cur.entries) == 0 {
+				continue
+			}
+		}
+		it.idx++
+		return true
+	}
+}
+
+func (it *fileIter) Entry() Entry { return it.cur.entries[it.idx] }

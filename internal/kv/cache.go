@@ -1,0 +1,126 @@
+package kv
+
+import "container/list"
+
+// blockKey identifies a cached block by file and block index.
+type blockKey struct {
+	file  uint64
+	block int
+}
+
+// BlockCache is a byte-capacity LRU over store-file blocks, the analogue
+// of HBase's block cache. Its capacity is the knob MeT's node profiles
+// tune: read-profile nodes get 55% of the heap, write-profile nodes 10%.
+type BlockCache struct {
+	capacity int
+	used     int
+	order    *list.List // front = most recently used
+	items    map[blockKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheItem struct {
+	key   blockKey
+	block *Block
+}
+
+// NewBlockCache returns a cache with the given byte capacity. A zero or
+// negative capacity yields a cache that stores nothing (all misses),
+// which is still safe to use.
+func NewBlockCache(capacity int) *BlockCache {
+	return &BlockCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[blockKey]*list.Element),
+	}
+}
+
+// get returns the cached block and promotes it to most recently used.
+func (c *BlockCache) get(k blockKey) (*Block, bool) {
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).block, true
+}
+
+// put inserts a block, evicting least-recently-used blocks as needed.
+// Blocks larger than the whole capacity are not cached.
+func (c *BlockCache) put(k blockKey, b *Block) {
+	if b.Bytes() > c.capacity {
+		return
+	}
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		old := el.Value.(*cacheItem)
+		c.used += b.Bytes() - old.block.Bytes()
+		old.block = b
+	} else {
+		el := c.order.PushFront(&cacheItem{key: k, block: b})
+		c.items[k] = el
+		c.used += b.Bytes()
+	}
+	for c.used > c.capacity {
+		c.evictOldest()
+	}
+}
+
+func (c *BlockCache) evictOldest() {
+	el := c.order.Back()
+	if el == nil {
+		return
+	}
+	item := el.Value.(*cacheItem)
+	c.order.Remove(el)
+	delete(c.items, item.key)
+	c.used -= item.block.Bytes()
+	c.evictions++
+}
+
+// invalidateFile drops every cached block of the given file; called when
+// compaction retires a file.
+func (c *BlockCache) invalidateFile(fileID uint64) {
+	for k, el := range c.items {
+		if k.file == fileID {
+			item := el.Value.(*cacheItem)
+			c.order.Remove(el)
+			delete(c.items, k)
+			c.used -= item.block.Bytes()
+		}
+	}
+}
+
+// Resize changes the capacity, evicting as needed. This supports node
+// reconfiguration in tests; the simulated cluster instead restarts the
+// store, as real HBase must (the paper calls out the lack of online
+// reconfiguration as the dominant actuation cost).
+func (c *BlockCache) Resize(capacity int) {
+	c.capacity = capacity
+	for c.used > c.capacity {
+		c.evictOldest()
+	}
+}
+
+// Used returns the current cached bytes.
+func (c *BlockCache) Used() int { return c.used }
+
+// Capacity returns the configured byte capacity.
+func (c *BlockCache) Capacity() int { return c.capacity }
+
+// Len returns the number of cached blocks.
+func (c *BlockCache) Len() int { return c.order.Len() }
+
+// HitRatio returns hits/(hits+misses) observed by the cache itself.
+func (c *BlockCache) HitRatio() float64 {
+	if c.hits+c.misses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}
+
+// Evictions returns the number of blocks evicted so far.
+func (c *BlockCache) Evictions() int64 { return c.evictions }

@@ -1,0 +1,149 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Wire format for store files, so an embedder can persist and reload
+// them (the simulation keeps files in memory; the format exists for
+// durability and for shipping region data between processes):
+//
+//	file   := magic(4) version(1) blockCount(varint) block*
+//	block  := length(varint) payload crc32(4)
+//	payload:= entryCount(varint) entry*
+//	entry  := flags(1) keyLen(varint) key valLen(varint) val ts(varint)
+//
+// flags bit 0 marks a tombstone.
+
+const (
+	fileMagic          = 0x4d455446 // "METF"
+	fileVersion        = 1
+	flagTombstone byte = 1 << 0
+)
+
+// ErrCorrupt is returned when decoding fails integrity checks.
+var ErrCorrupt = fmt.Errorf("kv: corrupt file data")
+
+// EncodeBlock serializes one block's entries to the wire payload.
+func EncodeBlock(entries []Entry) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		var flags byte
+		if e.Tombstone {
+			flags |= flagTombstone
+		}
+		buf = append(buf, flags)
+		buf = binary.AppendUvarint(buf, uint64(len(e.Key)))
+		buf = append(buf, e.Key...)
+		buf = binary.AppendUvarint(buf, uint64(len(e.Value)))
+		buf = append(buf, e.Value...)
+		buf = binary.AppendUvarint(buf, e.Timestamp)
+	}
+	return buf
+}
+
+// DecodeBlock parses a block payload back into entries.
+func DecodeBlock(buf []byte) ([]Entry, error) {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	buf = buf[n:]
+	entries := make([]Entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(buf) < 1 {
+			return nil, ErrCorrupt
+		}
+		flags := buf[0]
+		buf = buf[1:]
+		key, rest, err := readBytes(buf)
+		if err != nil {
+			return nil, err
+		}
+		val, rest2, err := readBytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		ts, n := binary.Uvarint(rest2)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		buf = rest2[n:]
+		e := Entry{Key: string(key), Timestamp: ts, Tombstone: flags&flagTombstone != 0}
+		if len(val) > 0 {
+			e.Value = append([]byte(nil), val...)
+		}
+		entries = append(entries, e)
+	}
+	if len(buf) != 0 {
+		return nil, ErrCorrupt
+	}
+	return entries, nil
+}
+
+func readBytes(buf []byte) (data, rest []byte, err error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < l {
+		return nil, nil, ErrCorrupt
+	}
+	return buf[n : n+int(l)], buf[n+int(l):], nil
+}
+
+// EncodeFile serializes a whole store file, block by block, each with a
+// CRC32 trailer.
+func EncodeFile(f *StoreFile) []byte {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, fileMagic)
+	buf = append(buf, fileVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(f.blocks)))
+	for _, b := range f.blocks {
+		payload := EncodeBlock(b.entries)
+		buf = binary.AppendUvarint(buf, uint64(len(payload)))
+		buf = append(buf, payload...)
+		buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	}
+	return buf
+}
+
+// DecodeFile reconstructs a store file (with the given id and block
+// size for future writes) from its wire form, verifying every CRC.
+func DecodeFile(id uint64, blockBytes int, buf []byte) (*StoreFile, error) {
+	if len(buf) < 5 || binary.BigEndian.Uint32(buf) != fileMagic {
+		return nil, ErrCorrupt
+	}
+	if buf[4] != fileVersion {
+		return nil, fmt.Errorf("kv: unsupported file version %d", buf[4])
+	}
+	buf = buf[5:]
+	blockCount, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	buf = buf[n:]
+	var entries []Entry
+	for i := uint64(0); i < blockCount; i++ {
+		payload, rest, err := readBytes(buf)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 4 {
+			return nil, ErrCorrupt
+		}
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(rest) {
+			return nil, ErrCorrupt
+		}
+		buf = rest[4:]
+		es, err := DecodeBlock(payload)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, es...)
+	}
+	if len(buf) != 0 {
+		return nil, ErrCorrupt
+	}
+	return BuildStoreFile(id, entries, blockBytes), nil
+}

@@ -1,0 +1,159 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"met/internal/sim"
+)
+
+func TestBlockCodecRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Key: "a", Value: []byte("1"), Timestamp: 1},
+		{Key: "b", Value: nil, Timestamp: 2, Tombstone: true},
+		{Key: "c", Value: []byte("long value with spaces"), Timestamp: 1 << 40},
+	}
+	got, err := DecodeBlock(EncodeBlock(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("got %d entries", len(got))
+	}
+	for i := range entries {
+		e, g := entries[i], got[i]
+		if e.Key != g.Key || string(e.Value) != string(g.Value) ||
+			e.Timestamp != g.Timestamp || e.Tombstone != g.Tombstone {
+			t.Fatalf("entry %d: %v != %v", i, g, e)
+		}
+	}
+	// Empty block round-trips too.
+	if got, err := DecodeBlock(EncodeBlock(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty block: %v, %v", got, err)
+	}
+}
+
+func TestBlockCodecProperty(t *testing.T) {
+	err := quick.Check(func(keys []string, vals [][]byte, seed uint16) bool {
+		rng := sim.NewRNG(uint64(seed))
+		var entries []Entry
+		for i, k := range keys {
+			var v []byte
+			if i < len(vals) {
+				v = vals[i]
+			}
+			entries = append(entries, Entry{
+				Key: k, Value: v, Timestamp: rng.Uint64() >> 1, Tombstone: rng.Intn(2) == 0,
+			})
+		}
+		got, err := DecodeBlock(EncodeBlock(entries))
+		if err != nil || len(got) != len(entries) {
+			return false
+		}
+		for i := range entries {
+			if got[i].Key != entries[i].Key || string(got[i].Value) != string(entries[i].Value) ||
+				got[i].Timestamp != entries[i].Timestamp || got[i].Tombstone != entries[i].Tombstone {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeBlockCorrupt(t *testing.T) {
+	good := EncodeBlock([]Entry{{Key: "k", Value: []byte("v"), Timestamp: 3}})
+	cases := [][]byte{
+		nil,
+		{},
+		good[:len(good)-1], // truncated
+		append(good, 0xff), // trailing garbage
+		{0x05},             // claims 5 entries, has none
+		{0x01, 0x00, 0xff}, // bogus key length
+	}
+	for i, c := range cases {
+		if _, err := DecodeBlock(c); err == nil {
+			t.Errorf("case %d: corrupt block decoded", i)
+		}
+	}
+}
+
+func TestFileCodecRoundTrip(t *testing.T) {
+	var entries []Entry
+	for i := 0; i < 500; i++ {
+		entries = append(entries, Entry{
+			Key:       fmt.Sprintf("key%04d", i),
+			Value:     []byte(fmt.Sprintf("value-%d", i)),
+			Timestamp: uint64(i + 1),
+		})
+	}
+	f := BuildStoreFile(9, entries, 512)
+	if f.NumBlocks() < 2 {
+		t.Fatalf("want multiple blocks, got %d", f.NumBlocks())
+	}
+	wire := EncodeFile(f)
+	back, err := DecodeFile(10, 512, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Entries() != f.Entries() {
+		t.Fatalf("entries %d != %d", back.Entries(), f.Entries())
+	}
+	minK, maxK := back.KeyRange()
+	wantMin, wantMax := f.KeyRange()
+	if minK != wantMin || maxK != wantMax {
+		t.Fatalf("range [%s,%s] != [%s,%s]", minK, maxK, wantMin, wantMax)
+	}
+	// Every key findable in the decoded file.
+	for i := 0; i < 500; i += 37 {
+		key := fmt.Sprintf("key%04d", i)
+		e, found := back.get(key, nil, nil)
+		if !found || string(e.Value) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("key %s lost in round trip", key)
+		}
+	}
+}
+
+func TestDecodeFileCorruption(t *testing.T) {
+	f := BuildStoreFile(1, []Entry{{Key: "k", Value: []byte("v"), Timestamp: 1}}, 64)
+	wire := EncodeFile(f)
+	// Bad magic.
+	bad := append([]byte(nil), wire...)
+	bad[0] ^= 0xff
+	if _, err := DecodeFile(2, 64, bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), wire...)
+	bad[4] = 99
+	if _, err := DecodeFile(2, 64, bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Flipped payload bit breaks the CRC.
+	bad = append([]byte(nil), wire...)
+	bad[len(bad)-6] ^= 0x01
+	if _, err := DecodeFile(2, 64, bad); err == nil {
+		t.Fatal("CRC violation accepted")
+	}
+	// Truncated file.
+	if _, err := DecodeFile(2, 64, wire[:len(wire)-3]); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+	if _, err := DecodeFile(2, 64, nil); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+func TestFileCodecEmptyFile(t *testing.T) {
+	f := BuildStoreFile(1, nil, 64)
+	back, err := DecodeFile(2, 64, EncodeFile(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Entries() != 0 {
+		t.Fatalf("entries = %d", back.Entries())
+	}
+}

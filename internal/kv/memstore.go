@@ -1,0 +1,144 @@
+package kv
+
+import "met/internal/sim"
+
+const maxSkipLevel = 18
+
+// Memstore is the in-memory write buffer: a skiplist keyed by (key,
+// descending timestamp) so that all versions of a key are adjacent with
+// the newest first. It corresponds to HBase's MemStore; when its byte
+// footprint exceeds the configured threshold the store flushes it to an
+// immutable file.
+type Memstore struct {
+	head  *skipNode
+	level int
+	rng   *sim.RNG
+	bytes int
+	count int
+	maxTS uint64
+}
+
+type skipNode struct {
+	entry Entry
+	next  [maxSkipLevel]*skipNode
+}
+
+// NewMemstore returns an empty memstore. The seed keeps skiplist tower
+// heights — and therefore iteration performance — deterministic.
+func NewMemstore(seed uint64) *Memstore {
+	return &Memstore{head: &skipNode{}, level: 1, rng: sim.NewRNG(seed)}
+}
+
+// less orders by key ascending, then timestamp descending (newest
+// version first).
+func less(a, b Entry) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.Timestamp > b.Timestamp
+}
+
+func (m *Memstore) randomLevel() int {
+	lvl := 1
+	for lvl < maxSkipLevel && m.rng.Uint64()&3 == 0 { // p = 1/4
+		lvl++
+	}
+	return lvl
+}
+
+// Add inserts a new entry version. Entries with identical (key,
+// timestamp) replace the previous value, matching HBase semantics where
+// a cell is identified by its coordinates.
+func (m *Memstore) Add(e Entry) {
+	var update [maxSkipLevel]*skipNode
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && less(x.next[i].entry, e) {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if cand := x.next[0]; cand != nil && cand.entry.Key == e.Key && cand.entry.Timestamp == e.Timestamp {
+		m.bytes += e.Size() - cand.entry.Size()
+		cand.entry = e
+		if e.Timestamp > m.maxTS {
+			m.maxTS = e.Timestamp
+		}
+		return
+	}
+	lvl := m.randomLevel()
+	if lvl > m.level {
+		for i := m.level; i < lvl; i++ {
+			update[i] = m.head
+		}
+		m.level = lvl
+	}
+	n := &skipNode{entry: e}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	m.bytes += e.Size()
+	m.count++
+	if e.Timestamp > m.maxTS {
+		m.maxTS = e.Timestamp
+	}
+}
+
+// Get returns the newest version of key, if any.
+func (m *Memstore) Get(key string) (Entry, bool) {
+	x := m.head
+	probe := Entry{Key: key, Timestamp: ^uint64(0)}
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && less(x.next[i].entry, probe) {
+			x = x.next[i]
+		}
+	}
+	if n := x.next[0]; n != nil && n.entry.Key == key {
+		return n.entry, true
+	}
+	return Entry{}, false
+}
+
+// Bytes returns the approximate heap footprint of buffered entries.
+func (m *Memstore) Bytes() int { return m.bytes }
+
+// Len returns the number of buffered entry versions.
+func (m *Memstore) Len() int { return m.count }
+
+// MaxTimestamp returns the newest timestamp buffered (0 when empty).
+func (m *Memstore) MaxTimestamp() uint64 { return m.maxTS }
+
+// Iterator returns an iterator over all buffered versions in (key asc,
+// timestamp desc) order. The iterator is invalidated by concurrent Adds.
+func (m *Memstore) Iterator() Iterator {
+	return &memstoreIter{node: m.head}
+}
+
+// IteratorFrom returns an iterator positioned at the first entry with
+// key >= start.
+func (m *Memstore) IteratorFrom(start string) Iterator {
+	x := m.head
+	probe := Entry{Key: start, Timestamp: ^uint64(0)}
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && less(x.next[i].entry, probe) {
+			x = x.next[i]
+		}
+	}
+	return &memstoreIter{node: x}
+}
+
+type memstoreIter struct {
+	node *skipNode
+}
+
+func (it *memstoreIter) Next() bool {
+	if it.node == nil || it.node.next[0] == nil {
+		it.node = nil
+		return false
+	}
+	it.node = it.node.next[0]
+	return true
+}
+
+func (it *memstoreIter) Entry() Entry { return it.node.entry }

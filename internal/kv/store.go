@@ -1,0 +1,319 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// fileIDCounter mints store-file IDs that are unique process-wide, so
+// stores sharing one BlockCache can never collide on cache keys.
+var fileIDCounter atomic.Uint64
+
+func nextFileID() uint64 { return fileIDCounter.Add(1) }
+
+// Config holds the engine knobs the paper's node profiles tune.
+type Config struct {
+	// MemstoreFlushBytes is the memstore size at which a flush to an
+	// immutable store file is triggered (HBase: memstore size fraction
+	// of the heap). Defaults to 64 MiB.
+	MemstoreFlushBytes int
+	// BlockCacheBytes is the block cache capacity (HBase: block cache
+	// size fraction of the heap). Defaults to 256 MiB.
+	BlockCacheBytes int
+	// BlockBytes is the store-file block size (HBase: HFile block
+	// size). Defaults to 64 KiB.
+	BlockBytes int
+	// MaxStoreFiles triggers an automatic minor compaction when the
+	// number of files exceeds it. Defaults to 8. Zero disables.
+	MaxStoreFiles int
+	// Seed keeps the memstore skiplist deterministic.
+	Seed uint64
+	// WAL receives every mutation before it is applied. Nil disables
+	// logging.
+	WAL WAL
+	// Cache, when non-nil, is used instead of a private cache built
+	// from BlockCacheBytes. A region server shares one cache across all
+	// of its regions' stores, as HBase does.
+	Cache *BlockCache
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemstoreFlushBytes <= 0 {
+		c.MemstoreFlushBytes = 64 << 20
+	}
+	if c.BlockCacheBytes < 0 {
+		c.BlockCacheBytes = 0
+	} else if c.BlockCacheBytes == 0 {
+		c.BlockCacheBytes = 256 << 20
+	}
+	if c.BlockBytes <= 0 {
+		c.BlockBytes = 64 << 10
+	}
+	if c.MaxStoreFiles == 0 {
+		c.MaxStoreFiles = 8
+	}
+	return c
+}
+
+// Store is the LSM engine: one memstore plus a stack of immutable store
+// files, newest first, fronted by a block cache. A Store backs exactly
+// one Region in the simulated HBase.
+type Store struct {
+	mu     sync.Mutex
+	cfg    Config
+	mem    *Memstore
+	files  []*StoreFile // newest first
+	cache  *BlockCache
+	stats  Stats
+	seq    uint64 // logical clock for timestamps
+	closed bool
+}
+
+// NewStore creates an empty store with the given configuration.
+func NewStore(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	cache := cfg.Cache
+	if cache == nil {
+		cache = NewBlockCache(cfg.BlockCacheBytes)
+	}
+	return &Store{
+		cfg:   cfg,
+		mem:   NewMemstore(cfg.Seed),
+		cache: cache,
+	}
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// nextTimestamp returns a strictly increasing logical timestamp.
+func (s *Store) nextTimestamp() uint64 {
+	s.seq++
+	return s.seq
+}
+
+// Put writes a value. Writes are atomic and immediately visible to
+// subsequent reads, matching HBase's contract.
+func (s *Store) Put(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	e := Entry{Key: key, Value: append([]byte(nil), value...), Timestamp: s.nextTimestamp()}
+	if s.cfg.WAL != nil {
+		if err := s.cfg.WAL.Append(e); err != nil {
+			return fmt.Errorf("kv: wal append: %w", err)
+		}
+	}
+	s.mem.Add(e)
+	s.stats.Puts++
+	s.stats.MemstoreCurrent = int64(s.mem.Bytes())
+	if s.mem.Bytes() >= s.cfg.MemstoreFlushBytes {
+		s.flushLocked()
+	}
+	return nil
+}
+
+// Delete writes a tombstone for key.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	e := Entry{Key: key, Timestamp: s.nextTimestamp(), Tombstone: true}
+	if s.cfg.WAL != nil {
+		if err := s.cfg.WAL.Append(e); err != nil {
+			return fmt.Errorf("kv: wal append: %w", err)
+		}
+	}
+	s.mem.Add(e)
+	s.stats.Deletes++
+	s.stats.MemstoreCurrent = int64(s.mem.Bytes())
+	if s.mem.Bytes() >= s.cfg.MemstoreFlushBytes {
+		s.flushLocked()
+	}
+	return nil
+}
+
+// Get returns the newest live value for key, or ErrNotFound.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.stats.Gets++
+	best, ok := s.mem.Get(key)
+	for _, f := range s.files {
+		if ok && best.Timestamp >= f.MaxTimestamp() {
+			break // nothing newer can exist in older files
+		}
+		if e, found := f.get(key, s.cache, &s.stats); found {
+			if !ok || e.supersedes(best) {
+				best, ok = e, true
+			}
+		}
+	}
+	if !ok || best.Tombstone {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), best.Value...), nil
+}
+
+// Scan returns up to limit live entries with start <= key < end, in key
+// order. An empty end means "to the end of the store"; limit < 0 means
+// unlimited.
+func (s *Store) Scan(start, end string, limit int) ([]Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.stats.Scans++
+	sources := make([]Iterator, 0, len(s.files)+1)
+	sources = append(sources, s.mem.IteratorFrom(start))
+	for _, f := range s.files {
+		sources = append(sources, f.iteratorFrom(start, s.cache, &s.stats))
+	}
+	it := newLimitIterator(newBoundIterator(newDedupIterator(newMergeIterator(sources), true), end), limit)
+	var out []Entry
+	for it.Next() {
+		e := it.Entry()
+		e.Value = append([]byte(nil), e.Value...)
+		out = append(out, e)
+		s.stats.ScannedEntries++
+	}
+	return out, nil
+}
+
+// Flush forces the memstore to a new store file.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+}
+
+func (s *Store) flushLocked() {
+	if s.mem.Len() == 0 {
+		return
+	}
+	entries := make([]Entry, 0, s.mem.Len())
+	it := s.mem.Iterator()
+	for it.Next() {
+		entries = append(entries, it.Entry())
+	}
+	f := BuildStoreFile(nextFileID(), entries, s.cfg.BlockBytes)
+	maxTS := s.mem.MaxTimestamp()
+	s.files = append([]*StoreFile{f}, s.files...)
+	s.stats.Flushes++
+	s.stats.FlushedBytes += int64(f.Bytes())
+	s.mem = NewMemstore(s.cfg.Seed + f.ID())
+	s.stats.MemstoreCurrent = 0
+	if s.cfg.WAL != nil {
+		s.cfg.WAL.Truncate(maxTS)
+	}
+	if s.cfg.MaxStoreFiles > 0 && len(s.files) > s.cfg.MaxStoreFiles {
+		s.compactLocked(false)
+	}
+}
+
+// Compact merges every store file (and nothing from the memstore) into a
+// single file. With major=true, tombstones and shadowed versions are
+// dropped — HBase's "major compact", the operation MeT issues to restore
+// data locality after moving regions.
+func (s *Store) Compact(major bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compactLocked(major)
+}
+
+func (s *Store) compactLocked(major bool) {
+	if len(s.files) <= 1 && !major {
+		return
+	}
+	if len(s.files) == 0 {
+		return
+	}
+	sources := make([]Iterator, 0, len(s.files))
+	var inBytes int
+	for _, f := range s.files {
+		sources = append(sources, f.iterator(nil, nil))
+		inBytes += f.Bytes()
+	}
+	it := newDedupIterator(newMergeIterator(sources), major)
+	var entries []Entry
+	for it.Next() {
+		entries = append(entries, it.Entry())
+	}
+	for _, f := range s.files {
+		s.cache.invalidateFile(f.id)
+	}
+	merged := BuildStoreFile(nextFileID(), entries, s.cfg.BlockBytes)
+	s.files = []*StoreFile{merged}
+	s.stats.Compactions++
+	s.stats.CompactedBytes += int64(inBytes)
+}
+
+// Stats returns a snapshot of the engine counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.MemstoreCurrent = int64(s.mem.Bytes())
+	return st
+}
+
+// DataBytes returns the approximate total bytes held (memstore + files).
+func (s *Store) DataBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := s.mem.Bytes()
+	for _, f := range s.files {
+		total += f.Bytes()
+	}
+	return total
+}
+
+// NumFiles returns the current number of store files.
+func (s *Store) NumFiles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.files)
+}
+
+// CacheHitRatio exposes the block cache's observed hit ratio.
+func (s *Store) CacheHitRatio() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.HitRatio()
+}
+
+// Recover rebuilds the memstore from the WAL; used after a simulated
+// crash. Returns the number of entries replayed.
+func (s *Store) Recover() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.WAL == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range s.cfg.WAL.Entries() {
+		s.mem.Add(e)
+		if e.Timestamp > s.seq {
+			s.seq = e.Timestamp
+		}
+		n++
+	}
+	return n
+}
+
+// Close marks the store closed; subsequent operations fail with
+// ErrClosed.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}

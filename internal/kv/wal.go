@@ -1,0 +1,54 @@
+package kv
+
+// WAL is the write-ahead log contract. Every mutation is appended before
+// it is applied to the memstore; Truncate is called once a flush has made
+// the logged entries durable in a store file.
+//
+// The simulated deployment uses MemoryWAL (the experiments account for
+// WAL I/O in the performance model instead); the interface exists so an
+// embedder can plug a durable implementation.
+type WAL interface {
+	// Append records a mutation. It must not retain e.Value.
+	Append(e Entry) error
+	// Truncate discards entries with Timestamp <= upTo.
+	Truncate(upTo uint64)
+	// Entries returns the retained entries, oldest first (recovery).
+	Entries() []Entry
+}
+
+// MemoryWAL is an in-memory WAL used by tests and the simulation. It
+// copies values on append so callers may reuse buffers.
+type MemoryWAL struct {
+	entries []Entry
+}
+
+// NewMemoryWAL returns an empty in-memory WAL.
+func NewMemoryWAL() *MemoryWAL { return &MemoryWAL{} }
+
+// Append implements WAL.
+func (w *MemoryWAL) Append(e Entry) error {
+	e.Value = append([]byte(nil), e.Value...)
+	w.entries = append(w.entries, e)
+	return nil
+}
+
+// Truncate implements WAL.
+func (w *MemoryWAL) Truncate(upTo uint64) {
+	kept := w.entries[:0]
+	for _, e := range w.entries {
+		if e.Timestamp > upTo {
+			kept = append(kept, e)
+		}
+	}
+	// Zero the tail so retained values can be collected.
+	for i := len(kept); i < len(w.entries); i++ {
+		w.entries[i] = Entry{}
+	}
+	w.entries = kept
+}
+
+// Entries implements WAL.
+func (w *MemoryWAL) Entries() []Entry { return w.entries }
+
+// Len returns the number of retained entries.
+func (w *MemoryWAL) Len() int { return len(w.entries) }

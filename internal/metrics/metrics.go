@@ -1,0 +1,149 @@
+// Package metrics implements the monitoring substrate MeT relies on: it
+// plays the role of Ganglia (system-level metrics: CPU utilization, I/O
+// wait, memory usage) and of the HBase JMX exporter (per-node and
+// per-region read/write/scan request counts and the locality index).
+//
+// The package also provides Brown's simple exponential smoothing, which
+// the paper uses to damp temporary load spikes before feeding samples to
+// the Decision Maker, and small time-series containers used throughout
+// the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"met/internal/sim"
+)
+
+// Sample is a single observation of a scalar metric at a virtual time.
+type Sample struct {
+	At    sim.Time
+	Value float64
+}
+
+// Series is an append-only time series of samples.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Append records a new observation. Observations must be appended in
+// non-decreasing time order.
+func (s *Series) Append(at sim.Time, v float64) {
+	if n := len(s.Samples); n > 0 && at < s.Samples[n-1].At {
+		panic(fmt.Sprintf("metrics: out-of-order sample on %q: %v after %v", s.Name, at, s.Samples[n-1].At))
+	}
+	s.Samples = append(s.Samples, Sample{At: at, Value: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// Last returns the most recent sample, or a zero Sample when empty.
+func (s *Series) Last() Sample {
+	if len(s.Samples) == 0 {
+		return Sample{}
+	}
+	return s.Samples[len(s.Samples)-1]
+}
+
+// Since returns the samples observed at or after t.
+func (s *Series) Since(t sim.Time) []Sample {
+	i := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].At >= t })
+	return s.Samples[i:]
+}
+
+// Values extracts the raw values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, smp := range s.Samples {
+		out[i] = smp.Value
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of all samples (0 when empty).
+func (s *Series) Mean() float64 { return Mean(s.Values()) }
+
+// Mean returns the arithmetic mean of vs (0 for an empty slice).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Sum returns the sum of vs.
+func Sum(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// StdDev returns the population standard deviation of vs.
+func StdDev(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	m := Mean(vs)
+	var ss float64
+	for _, v := range vs {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(vs)))
+}
+
+// Percentile returns the p-th percentile (0..100) of vs using linear
+// interpolation between closest ranks. It returns 0 for empty input.
+func Percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF summarises a set of observations at the percentile levels the
+// paper's Figure 1 reports (5th, 25th, 50th, 75th, 90th).
+type CDF struct {
+	P5, P25, P50, P75, P90 float64
+}
+
+// NewCDF computes the Figure 1 percentile summary for vs.
+func NewCDF(vs []float64) CDF {
+	return CDF{
+		P5:  Percentile(vs, 5),
+		P25: Percentile(vs, 25),
+		P50: Percentile(vs, 50),
+		P75: Percentile(vs, 75),
+		P90: Percentile(vs, 90),
+	}
+}
+
+// String renders the summary in a fixed-width, table-friendly form.
+func (c CDF) String() string {
+	return fmt.Sprintf("p5=%.0f p25=%.0f p50=%.0f p75=%.0f p90=%.0f", c.P5, c.P25, c.P50, c.P75, c.P90)
+}

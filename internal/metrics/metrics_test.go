@@ -1,0 +1,308 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"met/internal/sim"
+)
+
+func TestSeriesAppendAndQuery(t *testing.T) {
+	var s Series
+	s.Name = "cpu"
+	s.Append(0, 0.1)
+	s.Append(sim.Second, 0.2)
+	s.Append(2*sim.Second, 0.3)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if last := s.Last(); last.Value != 0.3 || last.At != 2*sim.Second {
+		t.Fatalf("last = %+v", last)
+	}
+	if got := s.Since(sim.Second); len(got) != 2 || got[0].Value != 0.2 {
+		t.Fatalf("since = %+v", got)
+	}
+	if m := s.Mean(); math.Abs(m-0.2) > 1e-12 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Last() != (Sample{}) {
+		t.Fatal("empty Last should be zero")
+	}
+	if s.Mean() != 0 {
+		t.Fatal("empty Mean should be 0")
+	}
+	if got := s.Since(0); len(got) != 0 {
+		t.Fatal("empty Since should be empty")
+	}
+}
+
+func TestSeriesOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var s Series
+	s.Append(sim.Second, 1)
+	s.Append(0, 2)
+}
+
+func TestMeanSumStdDev(t *testing.T) {
+	vs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(vs); m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if s := Sum(vs); s != 40 {
+		t.Errorf("sum = %v", s)
+	}
+	if sd := StdDev(vs); sd != 2 {
+		t.Errorf("stddev = %v, want 2", sd)
+	}
+	if StdDev(nil) != 0 || Mean(nil) != 0 {
+		t.Error("empty stats should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {90, 9.1}, {-5, 1}, {110, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(vs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if Percentile([]float64{7}, 50) != 7 {
+		t.Error("single-element percentile")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	vs := []float64{3, 1, 2}
+	Percentile(vs, 50)
+	if vs[0] != 3 || vs[1] != 1 || vs[2] != 2 {
+		t.Fatalf("input mutated: %v", vs)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	r := sim.NewRNG(4)
+	if err := quick.Check(func(seed uint32) bool {
+		n := int(seed%50) + 2
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = r.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(vs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCDF(t *testing.T) {
+	vs := make([]float64, 101)
+	for i := range vs {
+		vs[i] = float64(i)
+	}
+	c := NewCDF(vs)
+	if c.P5 != 5 || c.P25 != 25 || c.P50 != 50 || c.P75 != 75 || c.P90 != 90 {
+		t.Fatalf("cdf = %+v", c)
+	}
+	if c.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSmootherConverges(t *testing.T) {
+	s := NewSmoother(0.5)
+	for i := 0; i < 50; i++ {
+		s.Observe(10)
+	}
+	if math.Abs(s.Value()-10) > 1e-9 {
+		t.Fatalf("smoother = %v, want 10", s.Value())
+	}
+	if s.Count() != 50 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestSmootherDampsSpike(t *testing.T) {
+	s := NewSmoother(0.5)
+	for i := 0; i < 10; i++ {
+		s.Observe(1)
+	}
+	spiked := s.Observe(100)
+	if spiked >= 100 {
+		t.Fatal("spike not damped")
+	}
+	if spiked <= 1 {
+		t.Fatal("spike ignored entirely")
+	}
+	// Recent observations dominate: after the spike, a few normal samples
+	// bring the estimate back down.
+	for i := 0; i < 10; i++ {
+		s.Observe(1)
+	}
+	if s.Value() > 2 {
+		t.Fatalf("estimate %v did not recover", s.Value())
+	}
+}
+
+func TestSmootherRecentWeighsMost(t *testing.T) {
+	// With alpha=0.5 the newest sample has the single largest weight.
+	s := NewSmoother(0.5)
+	s.Observe(0)
+	s.Observe(0)
+	v := s.Observe(8)
+	if v != 4 {
+		t.Fatalf("value = %v, want 4", v)
+	}
+}
+
+func TestSmootherReset(t *testing.T) {
+	s := NewSmoother(0.3)
+	s.Observe(5)
+	s.Reset()
+	if s.Count() != 0 || s.Value() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	if got := s.Observe(7); got != 7 {
+		t.Fatalf("first post-reset observation = %v, want 7", got)
+	}
+}
+
+func TestSmootherAlphaClamped(t *testing.T) {
+	if s := NewSmoother(0); s.Alpha <= 0 {
+		t.Fatal("alpha not clamped up")
+	}
+	if s := NewSmoother(5); s.Alpha != 1 {
+		t.Fatal("alpha not clamped down")
+	}
+}
+
+func TestSmoothOneShot(t *testing.T) {
+	got := Smooth([]float64{1, 1, 1, 9}, 0.5)
+	if got != 5 {
+		t.Fatalf("Smooth = %v, want 5", got)
+	}
+	if Smooth(nil, 0.5) != 0 {
+		t.Fatal("empty Smooth should be 0")
+	}
+}
+
+func TestRequestCountsArithmetic(t *testing.T) {
+	a := RequestCounts{Reads: 10, Writes: 5, Scans: 2}
+	b := RequestCounts{Reads: 3, Writes: 1, Scans: 1}
+	if got := a.Add(b); got != (RequestCounts{13, 6, 3}) {
+		t.Fatalf("add = %+v", got)
+	}
+	if got := a.Sub(b); got != (RequestCounts{7, 4, 1}) {
+		t.Fatalf("sub = %+v", got)
+	}
+	if a.Total() != 17 {
+		t.Fatalf("total = %d", a.Total())
+	}
+}
+
+type fakeSource struct {
+	cpu  map[string]float64
+	regs []RegionObservation
+}
+
+func (f *fakeSource) Observe(now sim.Time) ([]NodeObservation, []RegionObservation) {
+	var nodes []NodeObservation
+	for n, c := range f.cpu {
+		nodes = append(nodes, NodeObservation{
+			At: now, Node: n,
+			System:   SystemMetrics{CPUUtilization: c, IOWait: c / 2, MemoryUsage: c / 4},
+			Locality: 1,
+		})
+	}
+	return nodes, f.regs
+}
+
+func TestCollectorSmoothsPerNode(t *testing.T) {
+	src := &fakeSource{cpu: map[string]float64{"rs1": 0.9, "rs2": 0.1}}
+	c := NewCollector(src, 0.5)
+	for i := 0; i < 6; i++ {
+		c.Poll(sim.Time(i) * 30 * sim.Second)
+	}
+	if c.Observations() != 6 {
+		t.Fatalf("observations = %d", c.Observations())
+	}
+	cpu := c.SmoothedCPU()
+	if math.Abs(cpu["rs1"]-0.9) > 1e-6 || math.Abs(cpu["rs2"]-0.1) > 1e-6 {
+		t.Fatalf("smoothed cpu = %v", cpu)
+	}
+	io := c.SmoothedIOWait()
+	if math.Abs(io["rs1"]-0.45) > 1e-6 {
+		t.Fatalf("smoothed io = %v", io)
+	}
+	mem := c.SmoothedMemory()
+	if math.Abs(mem["rs2"]-0.025) > 1e-6 {
+		t.Fatalf("smoothed mem = %v", mem)
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	src := &fakeSource{cpu: map[string]float64{"rs1": 0.5}}
+	c := NewCollector(src, 0.5)
+	c.Poll(0)
+	c.Reset()
+	if c.Observations() != 0 {
+		t.Fatal("observations not reset")
+	}
+	if len(c.SmoothedCPU()) != 0 {
+		t.Fatal("smoothed values survive reset")
+	}
+	// Polling again re-primes from fresh state.
+	c.Poll(sim.Minute)
+	if got := c.SmoothedCPU()["rs1"]; got != 0.5 {
+		t.Fatalf("post-reset cpu = %v", got)
+	}
+}
+
+func TestCollectorNodesSorted(t *testing.T) {
+	src := &fakeSource{cpu: map[string]float64{"rs2": 0.5, "rs1": 0.2, "rs3": 0.7}}
+	c := NewCollector(src, 0.5)
+	c.Poll(0)
+	nodes := c.Nodes()
+	if len(nodes) != 3 || nodes[0] != "rs1" || nodes[2] != "rs3" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestCollectorKeepsLastObservations(t *testing.T) {
+	src := &fakeSource{
+		cpu:  map[string]float64{"rs1": 0.5},
+		regs: []RegionObservation{{Region: "r0", Node: "rs1", SizeMB: 250}},
+	}
+	c := NewCollector(src, 0.5)
+	c.Poll(0)
+	if len(c.LastNodes()) != 1 || len(c.LastRegions()) != 1 {
+		t.Fatal("last observations not retained")
+	}
+	if c.LastRegions()[0].Region != "r0" {
+		t.Fatalf("region = %+v", c.LastRegions()[0])
+	}
+}

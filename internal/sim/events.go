@@ -1,0 +1,134 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled to run at a virtual time.
+type Event struct {
+	At Time
+	Fn func(now Time)
+
+	seq   uint64 // tie-break so same-time events run in scheduling order
+	index int    // heap bookkeeping; -1 when not queued
+}
+
+// eventHeap implements container/heap ordered by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler runs events in virtual-time order. Events scheduled for the
+// same instant run in the order they were scheduled, which keeps runs
+// deterministic.
+type Scheduler struct {
+	clock *Clock
+	queue eventHeap
+	seq   uint64
+}
+
+// NewScheduler returns a scheduler over a fresh clock.
+func NewScheduler() *Scheduler {
+	return &Scheduler{clock: NewClock()}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.clock.Now() }
+
+// Clock exposes the underlying clock (read-only use expected).
+func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// Len reports the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// ScheduleAt queues fn to run at absolute time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (s *Scheduler) ScheduleAt(t Time, fn func(now Time)) *Event {
+	if t < s.clock.Now() {
+		panic("sim: event scheduled in the past")
+	}
+	e := &Event{At: t, Fn: fn, seq: s.seq}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// ScheduleAfter queues fn to run d after the current time.
+func (s *Scheduler) ScheduleAfter(d Time, fn func(now Time)) *Event {
+	return s.ScheduleAt(s.clock.Now()+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-run or already-
+// cancelled event is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.index >= len(s.queue) || s.queue[e.index] != e {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+}
+
+// Step runs the single earliest event. It reports false when the queue is
+// empty.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.clock.Advance(e.At)
+	e.Fn(e.At)
+	return true
+}
+
+// RunUntil executes events until the queue is empty or the next event is
+// after deadline. The clock finishes exactly at deadline.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.queue) > 0 && s.queue[0].At <= deadline {
+		s.Step()
+	}
+	if deadline > s.clock.Now() {
+		s.clock.Advance(deadline)
+	}
+}
+
+// Run executes all pending events (including ones scheduled while
+// running). Use RunUntil for open-ended simulations.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// EachTick schedules fn every interval starting at start, until fn
+// returns false. It is the backbone of tick-driven simulations.
+func (s *Scheduler) EachTick(start, interval Time, fn func(now Time) bool) {
+	var tick func(now Time)
+	tick = func(now Time) {
+		if !fn(now) {
+			return
+		}
+		s.ScheduleAt(now+interval, tick)
+	}
+	s.ScheduleAt(start, tick)
+}

@@ -1,0 +1,86 @@
+package tpcc
+
+import (
+	"met/internal/sim"
+)
+
+// Result accumulates transaction outcomes. TpmC is derived from the
+// NewOrder count and the measured (virtual or operation-logical) window.
+type Result struct {
+	Completed map[TxType]int64
+	Errors    int64
+}
+
+// Total returns all completed transactions.
+func (r Result) Total() int64 {
+	var sum int64
+	for _, v := range r.Completed {
+		sum += v
+	}
+	return sum
+}
+
+// NewOrders returns the number of completed NewOrder transactions — the
+// numerator of tpmC.
+func (r Result) NewOrders() int64 { return r.Completed[TxNewOrder] }
+
+// TpmC converts a NewOrder count over a window into transactions/minute.
+func TpmC(newOrders int64, window sim.Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(newOrders) / window.Minutes()
+}
+
+// Driver executes a transaction stream against the functional cluster.
+type Driver struct {
+	Exec *Executor
+	res  Result
+}
+
+// NewDriver wraps an executor.
+func NewDriver(e *Executor) *Driver {
+	return &Driver{Exec: e, res: Result{Completed: make(map[TxType]int64)}}
+}
+
+// Step runs one transaction from the standard mix.
+func (d *Driver) Step() error {
+	t := d.Exec.PickTx()
+	if err := d.Exec.Execute(t); err != nil {
+		d.res.Errors++
+		return err
+	}
+	d.res.Completed[t]++
+	return nil
+}
+
+// Run executes n transactions, stopping on the first hard error.
+func (d *Driver) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := d.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result returns a copy of the accumulated outcome counters.
+func (d *Driver) Result() Result {
+	out := Result{Completed: make(map[TxType]int64, len(d.res.Completed)), Errors: d.res.Errors}
+	for k, v := range d.res.Completed {
+		out.Completed[k] = v
+	}
+	return out
+}
+
+// ReadOnlyFraction returns the fraction of completed transactions that
+// are read-only (OrderStatus + StockLevel); the paper quotes the default
+// traffic as 8% read-only, 92% update.
+func (r Result) ReadOnlyFraction() float64 {
+	total := r.Total()
+	if total == 0 {
+		return 0
+	}
+	ro := r.Completed[TxOrderStatus] + r.Completed[TxStockLevel]
+	return float64(ro) / float64(total)
+}

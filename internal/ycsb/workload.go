@@ -1,0 +1,213 @@
+package ycsb
+
+import (
+	"fmt"
+	"math"
+
+	"met/internal/sim"
+)
+
+// OpType is one YCSB operation kind.
+type OpType int
+
+// Operation kinds used by the six workloads.
+const (
+	OpRead OpType = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// String implements fmt.Stringer.
+func (o OpType) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpScan:
+		return "scan"
+	case OpReadModifyWrite:
+		return "rmw"
+	default:
+		return fmt.Sprintf("OpType(%d)", int(o))
+	}
+}
+
+// Workload is one tenant's YCSB configuration.
+type Workload struct {
+	// Name identifies the tenant ("A".."F").
+	Name string
+	// Proportions of each operation; they must sum to ~1.
+	ReadProportion   float64
+	UpdateProportion float64
+	InsertProportion float64
+	ScanProportion   float64
+	RMWProportion    float64
+	// RecordCount is the initial population.
+	RecordCount int64
+	// FieldLengthBytes is the value size (YCSB default: 10 fields x
+	// 100 B; the paper's data sizes match ~1 KB records).
+	FieldLengthBytes int
+	// MaxScanLength bounds scans (length drawn uniformly in [1, max]).
+	MaxScanLength int
+	// Threads is the closed-loop client thread count (50 in the paper,
+	// 5 for WorkloadD).
+	Threads int
+	// TargetOpsPerSec throttles the workload (0 = unthrottled;
+	// 1500 for WorkloadD in the paper).
+	TargetOpsPerSec float64
+	// Partitions is the number of equal-size data partitions (Regions)
+	// the workload's table is pre-split into (4 in the paper, 1 for D).
+	Partitions int
+	// Scenario is the paper's application descriptor (documentation).
+	Scenario string
+}
+
+// Validate checks proportions sum to 1 and fields are sane.
+func (w Workload) Validate() error {
+	sum := w.ReadProportion + w.UpdateProportion + w.InsertProportion + w.ScanProportion + w.RMWProportion
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("ycsb: workload %s proportions sum to %v", w.Name, sum)
+	}
+	if w.RecordCount <= 0 {
+		return fmt.Errorf("ycsb: workload %s has no records", w.Name)
+	}
+	if w.Partitions < 1 {
+		return fmt.Errorf("ycsb: workload %s has %d partitions", w.Name, w.Partitions)
+	}
+	return nil
+}
+
+// TableName returns the HBase table the workload lives in.
+func (w Workload) TableName() string { return "usertable_" + w.Name }
+
+// Key renders the i-th key in ordered form, zero padded so the
+// lexicographic order equals the numeric order (keeps region math exact).
+func (w Workload) Key(i int64) string { return fmt.Sprintf("user%012d", i) }
+
+// SplitKeys returns the pre-split boundaries carving the initial
+// keyspace into w.Partitions equal regions.
+func (w Workload) SplitKeys() []string {
+	var out []string
+	for p := 1; p < w.Partitions; p++ {
+		out = append(out, w.Key(w.RecordCount*int64(p)/int64(w.Partitions)))
+	}
+	return out
+}
+
+// ReadFraction returns the fraction of ops that read one record (reads +
+// the read half of RMW).
+func (w Workload) ReadFraction() float64 { return w.ReadProportion + w.RMWProportion/2 }
+
+// WriteFraction returns the fraction of ops that write one record
+// (updates + inserts + the write half of RMW).
+func (w Workload) WriteFraction() float64 {
+	return w.UpdateProportion + w.InsertProportion + w.RMWProportion/2
+}
+
+// ScanFraction returns the fraction of scan operations.
+func (w Workload) ScanFraction() float64 { return w.ScanProportion }
+
+// NextOp draws an operation type according to the proportions.
+func (w Workload) NextOp(r *sim.RNG) OpType {
+	x := r.Float64()
+	if x < w.ReadProportion {
+		return OpRead
+	}
+	x -= w.ReadProportion
+	if x < w.UpdateProportion {
+		return OpUpdate
+	}
+	x -= w.UpdateProportion
+	if x < w.InsertProportion {
+		return OpInsert
+	}
+	x -= w.InsertProportion
+	if x < w.ScanProportion {
+		return OpScan
+	}
+	return OpReadModifyWrite
+}
+
+// PaperWorkloads returns the six YCSB workloads exactly as Section 3.1
+// configures them: A (50/50 session store), B (100% update, stocks),
+// C (100% read, profile cache), D (5% read / 95% insert, logging),
+// E (95% scan / 5% insert, threaded conversations), F (50% read / 50%
+// RMW, user database). All are populated with 1,000,000 records and 4
+// partitions except D (100,000 records, 1 partition, 5 threads, capped
+// at 1500 ops/s).
+func PaperWorkloads() []Workload {
+	base := Workload{
+		RecordCount:      1_000_000,
+		FieldLengthBytes: 1000,
+		MaxScanLength:    100,
+		Threads:          50,
+		Partitions:       4,
+	}
+	a := base
+	a.Name = "A"
+	a.ReadProportion, a.UpdateProportion = 0.5, 0.5
+	a.Scenario = "session store recording recent actions"
+
+	b := base
+	b.Name = "B"
+	b.UpdateProportion = 1.0
+	b.Scenario = "stocks management"
+
+	c := base
+	c.Name = "C"
+	c.ReadProportion = 1.0
+	c.Scenario = "user profile cache"
+
+	d := base
+	d.Name = "D"
+	d.ReadProportion, d.InsertProportion = 0.05, 0.95
+	d.RecordCount = 100_000
+	d.Partitions = 1
+	d.Threads = 5
+	d.TargetOpsPerSec = 1500
+	d.Scenario = "logging/history"
+
+	e := base
+	e.Name = "E"
+	e.ScanProportion, e.InsertProportion = 0.95, 0.05
+	e.Scenario = "threaded conversations"
+
+	f := base
+	f.Name = "F"
+	f.ReadProportion, f.RMWProportion = 0.5, 0.5
+	f.Scenario = "user database"
+
+	return []Workload{a, b, c, d, e, f}
+}
+
+// PartitionShares returns the fraction of the workload's requests hitting
+// each of its partitions under the paper's hotspot distribution,
+// estimated analytically (hot set uniform over its keys, cold set uniform
+// over the rest). For the paper's 4-partition 50/40 hotspot this yields
+// one hot partition (~31%), one intermediate (~27%) and two cold (~21%),
+// matching the shape reported in Section 3.1.
+func (w Workload) PartitionShares() []float64 {
+	n := float64(w.RecordCount)
+	hot := n * 0.4
+	shares := make([]float64, w.Partitions)
+	per := n / float64(w.Partitions)
+	for p := 0; p < w.Partitions; p++ {
+		lo, hi := per*float64(p), per*float64(p+1)
+		hotOverlap := math.Max(0, math.Min(hi, hot)-lo)
+		coldOverlap := math.Max(0, hi-math.Max(lo, hot))
+		share := 0.0
+		if hot > 0 {
+			share += 0.5 * hotOverlap / hot
+		}
+		if n-hot > 0 {
+			share += 0.5 * coldOverlap / (n - hot)
+		}
+		shares[p] = share
+	}
+	return shares
+}

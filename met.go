@@ -1,0 +1,164 @@
+// Package met is the public API of the MeT reproduction (Cruz et al.,
+// "MeT: workload aware elasticity for NoSQL", EuroSys 2013): a
+// workload-aware elasticity controller for an HBase-style NoSQL store,
+// together with the full substrate it manages — a functional mini-HBase
+// (regions, region servers, block cache / memstore / block-size tuning,
+// HDFS-style locality), YCSB and TPC-C workload generators, and the
+// simulated deployment used to reproduce the paper's evaluation.
+//
+// Three layers are exposed:
+//
+//   - NewCluster / Cluster: a working single-process HBase-like database
+//     with a put/get/delete/scan client;
+//   - NewController: MeT itself (Monitor, Decision Maker, Actuator) over
+//     a functional cluster;
+//   - the experiment runners (RunFigure1, RunFigure4, RunTable2,
+//     RunElasticity) that regenerate every table and figure of the
+//     paper's evaluation on the performance-model deployment.
+package met
+
+import (
+	"fmt"
+	"io"
+
+	"met/internal/core"
+	"met/internal/exp"
+	"met/internal/hbase"
+	"met/internal/hdfs"
+	"met/internal/placement"
+	"met/internal/sim"
+)
+
+// Re-exported substrate types for embedding users.
+type (
+	// Cluster bundles a functional HBase-like deployment.
+	Cluster struct {
+		Master *hbase.Master
+		Client *hbase.Client
+	}
+	// ServerConfig is a region server's tuning (cache / memstore /
+	// block size / handlers).
+	ServerConfig = hbase.ServerConfig
+	// Controller is the MeT control loop over a functional cluster.
+	Controller = core.Controller
+	// Params are MeT's decision parameters.
+	Params = core.Params
+	// AccessType is a workload access-pattern class.
+	AccessType = placement.AccessType
+)
+
+// Access pattern classes (Table 1 profiles exist for each).
+const (
+	ReadWrite = placement.ReadWrite
+	Read      = placement.Read
+	Write     = placement.Write
+	Scan      = placement.Scan
+)
+
+// DefaultServerConfig returns an out-of-the-box tuned homogeneous node
+// configuration.
+func DefaultServerConfig() ServerConfig { return hbase.DefaultServerConfig() }
+
+// Table1Profiles returns the paper's per-group node profiles.
+func Table1Profiles() map[AccessType]ServerConfig { return core.Table1Profiles() }
+
+// DefaultParams returns the paper's Decision Maker parameters.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewCluster creates a functional cluster with n homogeneous region
+// servers (each co-located with an HDFS datanode, replication factor 2).
+func NewCluster(n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("met: cluster needs at least one server, got %d", n)
+	}
+	nn := hdfs.NewNamenode(2)
+	m := hbase.NewMaster(nn)
+	for i := 0; i < n; i++ {
+		if _, err := m.AddServer(fmt.Sprintf("rs%d", i), hbase.DefaultServerConfig()); err != nil {
+			return nil, err
+		}
+	}
+	return &Cluster{Master: m, Client: hbase.NewClient(m)}, nil
+}
+
+// CreateTable creates a pre-split table; n split keys make n+1 regions.
+func (c *Cluster) CreateTable(name string, splitKeys []string) error {
+	_, err := c.Master.CreateTable(name, splitKeys)
+	return err
+}
+
+// Put writes a value (atomic, immediately visible to readers).
+func (c *Cluster) Put(table, key string, value []byte) error {
+	return c.Client.Put(table, key, value)
+}
+
+// Get reads the newest value of key.
+func (c *Cluster) Get(table, key string) ([]byte, error) {
+	return c.Client.Get(table, key)
+}
+
+// Delete removes a key.
+func (c *Cluster) Delete(table, key string) error {
+	return c.Client.Delete(table, key)
+}
+
+// Scan returns up to limit entries in [start, end) as key/value pairs.
+func (c *Cluster) Scan(table, start, end string, limit int) (keys []string, values [][]byte, err error) {
+	entries, err := c.Client.Scan(table, start, end, limit)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		keys = append(keys, e.Key)
+		values = append(values, e.Value)
+	}
+	return keys, values, nil
+}
+
+// NewController attaches MeT to a functional cluster. nominalOpsPerSec
+// calibrates the synthetic CPU metric of the functional layer (the
+// request rate one node counts as fully busy).
+func NewController(c *Cluster, params Params, nominalOpsPerSec float64) *Controller {
+	src := core.NewClusterSource(c.Master, nominalOpsPerSec, 30*sim.Second)
+	mon := core.NewMonitor(src, 0.5)
+	profiles := core.Table1Profiles()
+	dm := core.NewDecisionMaker(params, profiles)
+	act := core.NewFunctionalActuator(c.Master, mon, params, profiles)
+	return core.NewController(mon, dm, act)
+}
+
+// Experiment result aliases.
+type (
+	// Figure1 is the motivation experiment's result.
+	Figure1 = exp.Fig1Result
+	// Figure4 is the convergence experiment's result.
+	Figure4 = exp.Fig4Result
+	// Table2 is the TPC-C versatility experiment's result.
+	Table2 = exp.Table2Result
+	// Elasticity is the Figure 5/6 experiment's result.
+	Elasticity = exp.ElasticityResult
+)
+
+// RunFigure1 regenerates Figure 1 (manual strategies, percentiles over
+// `runs` 30-minute runs).
+func RunFigure1(runs int, seed uint64) *Figure1 { return exp.RunFig1(runs, seed) }
+
+// RunFigure4 regenerates Figure 4 (MeT convergence vs manual configs).
+func RunFigure4(seed uint64) *Figure4 { return exp.RunFig4(seed) }
+
+// RunTable2 regenerates Table 2 (PyTPCC average throughput).
+func RunTable2(seed uint64) *Table2 { return exp.RunTable2(seed) }
+
+// RunElasticity regenerates Figures 5 and 6 (MeT vs Tiramola).
+func RunElasticity(seed uint64) *Elasticity { return exp.RunElasticity(seed) }
+
+// PrintAll runs every experiment and writes the full evaluation report.
+func PrintAll(w io.Writer, seed uint64) {
+	RunFigure1(5, seed).Print(w)
+	fmt.Fprintln(w)
+	RunFigure4(seed).Print(w)
+	fmt.Fprintln(w)
+	RunTable2(seed).Print(w)
+	fmt.Fprintln(w)
+	RunElasticity(seed).Print(w)
+}
