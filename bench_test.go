@@ -3,6 +3,7 @@ package met
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"testing"
 
 	"met/internal/exp"
@@ -94,6 +95,86 @@ func BenchmarkFig6Elasticity(b *testing.B) {
 	b.ReportMetric(float64(r.Tiramola.PeakNodes), "tira-peak-nodes(paper=11)")
 	b.ReportMetric(float64(r.MeT.FinalNodes), "met-final-nodes(paper=6)")
 	b.ReportMetric(float64(r.Tiramola.FinalNodes), "tira-final-nodes")
+}
+
+// --- concurrent serving path benches ----------------------------------
+
+// newServingCluster builds a loaded 3-server cluster for the parallel
+// benchmarks: one pre-split table, 10k rows of 128 B.
+func newServingCluster(b *testing.B) *Cluster {
+	b.Helper()
+	cluster, err := NewCluster(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cluster.CreateTable("bench", []string{"user2500", "user5000", "user7500"}); err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 128)
+	for i := 0; i < 10000; i++ {
+		if err := cluster.Put("bench", benchKey(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cluster
+}
+
+func benchKey(i int) string { return fmt.Sprintf("user%04d", i%10000) }
+
+// benchSeeds hands every RunParallel goroutine its own RNG stream.
+var benchSeeds atomic.Uint64
+
+// BenchmarkParallelGet measures the read path under goroutine fan-out.
+// Compare -cpu=1 with -cpu=8 to see the RWMutex + sorted-index + atomic
+// counter refactor: reads share every lock on the hot path, so ops/sec
+// must scale with goroutines instead of flat-lining behind one mutex.
+func BenchmarkParallelGet(b *testing.B) {
+	cluster := newServingCluster(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := sim.NewRNG(benchSeeds.Add(1))
+		for pb.Next() {
+			if _, err := cluster.Get("bench", benchKey(rng.Intn(10000))); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkParallelPut measures the write path under fan-out. Writers to
+// the same region still serialize on its store (HBase's contract), but
+// writers to different regions proceed independently.
+func BenchmarkParallelPut(b *testing.B) {
+	cluster := newServingCluster(b)
+	val := make([]byte, 128)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := sim.NewRNG(benchSeeds.Add(1))
+		for pb.Next() {
+			if err := cluster.Put("bench", benchKey(rng.Intn(10000)), val); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkParallelScan measures short range scans (10 rows) under
+// fan-out; scans hold a store's read lock for the whole iteration, so
+// they exercise reader-reader sharing hardest.
+func BenchmarkParallelScan(b *testing.B) {
+	cluster := newServingCluster(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := sim.NewRNG(benchSeeds.Add(1))
+		for pb.Next() {
+			if _, _, err := cluster.Scan("bench", benchKey(rng.Intn(10000)), "", 10); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // --- ablation benches (DESIGN.md section 5) ---------------------------

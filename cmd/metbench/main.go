@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	metbench -workload A|B|C|D|E|F|tpcc [-servers 3] [-ops 20000] [-records 5000] [-met]
+//	metbench -workload A|B|C|D|E|F|tpcc [-servers 3] [-ops 20000] [-records 5000]
+//	         [-concurrency 8] [-met]
+//
+// With -concurrency N > 1 the YCSB operations are fanned across N
+// goroutines the way real YCSB drives HBase with a client thread pool,
+// exercising the cluster's concurrent serving path.
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 	ops := flag.Int("ops", 20000, "operations (or transactions for tpcc)")
 	records := flag.Int64("records", 5000, "records to load per table")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
+	concurrency := flag.Int("concurrency", 1, "parallel client goroutines (YCSB only)")
 	withMeT := flag.Bool("met", false, "attach the MeT controller during the run")
 	flag.Parse()
 
@@ -39,7 +45,14 @@ func main() {
 	case "tpcc":
 		runTPCC(cluster, *ops, *seed)
 	default:
-		runYCSB(cluster, *workload, *ops, *records, *seed, *withMeT)
+		if *concurrency > 1 {
+			if *withMeT {
+				fmt.Fprintln(os.Stderr, "metbench: -met is not supported with -concurrency > 1; running without the controller")
+			}
+			runYCSBParallel(cluster, *workload, *ops, *records, *seed, *concurrency)
+		} else {
+			runYCSB(cluster, *workload, *ops, *records, *seed, *withMeT)
+		}
 	}
 	elapsed := time.Since(start)
 
@@ -52,20 +65,22 @@ func main() {
 	}
 }
 
-func runYCSB(cluster *met.Cluster, letter string, ops int, records int64, seed uint64, withMeT bool) {
-	var spec *ycsb.Workload
+// workloadSpec resolves a paper workload letter, sized for the bench.
+func workloadSpec(letter string, records int64) *ycsb.Workload {
 	for _, w := range ycsb.PaperWorkloads() {
 		if w.Name == letter {
-			w := w
-			spec = &w
+			w.RecordCount = records
+			w.FieldLengthBytes = 128
+			return &w
 		}
 	}
-	if spec == nil {
-		fmt.Fprintf(os.Stderr, "metbench: unknown workload %q\n", letter)
-		os.Exit(2)
-	}
-	spec.RecordCount = records
-	spec.FieldLengthBytes = 128
+	fmt.Fprintf(os.Stderr, "metbench: unknown workload %q\n", letter)
+	os.Exit(2)
+	return nil
+}
+
+func runYCSB(cluster *met.Cluster, letter string, ops int, records int64, seed uint64, withMeT bool) {
+	spec := workloadSpec(letter, records)
 	runner, err := ycsb.NewRunner(*spec, cluster.Client, sim.NewRNG(seed))
 	if err != nil {
 		log.Fatal(err)
@@ -113,6 +128,35 @@ func runYCSB(cluster *met.Cluster, letter string, ops int, records int64, seed u
 	}
 	if ctrl != nil {
 		fmt.Printf("MeT: %d decisions, %d actuations\n", ctrl.Decisions(), ctrl.Actuations())
+	}
+}
+
+func runYCSBParallel(cluster *met.Cluster, letter string, ops int, records int64, seed uint64, concurrency int) {
+	spec := workloadSpec(letter, records)
+	runner, err := ycsb.NewParallelRunner(*spec, cluster.Client, concurrency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := runner.CreateTable(cluster.Master); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loading %d records into %s (%d loaders)...\n", records, spec.TableName(), concurrency)
+	if err := runner.Load(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("running %d operations of Workload%s across %d goroutines...\n", ops, letter, concurrency)
+	start := time.Now()
+	if err := runner.Run(ops, seed); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("completed: %d ops, %d errors, %.0f ops/sec\n",
+		runner.TotalCompleted(), runner.Errors(), float64(runner.TotalCompleted())/elapsed.Seconds())
+	if n := runner.Transient(); n > 0 {
+		fmt.Printf("  (%d ops dropped on topology churn)\n", n)
+	}
+	for op, n := range runner.Completed() {
+		fmt.Printf("  %-7s %d\n", op, n)
 	}
 }
 

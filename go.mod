@@ -1,0 +1,3 @@
+module met
+
+go 1.24

@@ -16,6 +16,9 @@ import (
 // functional cluster while MeT reconfigures it, with automatic region
 // splits enabled — the full functional stack in one scenario.
 func TestIntegrationYCSBUnderMeT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack workload run")
+	}
 	cluster, err := NewCluster(5)
 	if err != nil {
 		t.Fatal(err)
@@ -110,6 +113,9 @@ func wByTable(table string) *ycsb.Workload {
 // TestIntegrationTPCCSurvivesReconfiguration runs TPC-C transactions
 // while the actuator restarts servers under it.
 func TestIntegrationTPCCSurvivesReconfiguration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack workload run")
+	}
 	cluster, err := NewCluster(3)
 	if err != nil {
 		t.Fatal(err)

@@ -42,15 +42,19 @@ func (c *Client) route(table, key string) (*RegionServer, *Region, error) {
 	return rs, r, nil
 }
 
-// withRetry runs op, refreshing the route once if the first attempt hits
-// a moved region.
+// withRetry runs op, refreshing the route once if the first attempt hit
+// a moved region (ErrWrongRegionServer) or a store retired mid-flight by
+// a split or restart (kv.ErrClosed — after a split the daughters serve
+// the key on the refreshed route). A server that is down keeps failing
+// with ErrServerStopped; waiting it out is the caller's policy, as with
+// real HBase clients.
 func (c *Client) withRetry(table, key string, op func(rs *RegionServer) error) error {
 	rs, _, err := c.route(table, key)
 	if err != nil {
 		return err
 	}
 	err = op(rs)
-	if errors.Is(err, ErrWrongRegionServer) {
+	if errors.Is(err, ErrWrongRegionServer) || errors.Is(err, kv.ErrClosed) {
 		rs, _, err = c.route(table, key)
 		if err != nil {
 			return err

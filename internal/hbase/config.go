@@ -12,6 +12,27 @@
 // locality index MeT monitors. Reconfiguration requires a server restart,
 // matching the HBase limitation the paper identifies as the dominant
 // actuation cost.
+//
+// # Concurrency model
+//
+// The serving path is concurrent end to end: any number of goroutines
+// may issue Get/Put/Delete/Scan through a Client or directly against a
+// RegionServer. Reads of routing metadata (Master assignment, Table
+// regions, each server's per-table sorted region index) take shared
+// reader/writer locks; topology mutations (create/split/move/open/close,
+// restarts) take the exclusive side. Request counters — per server and
+// per region — are sync/atomic counters, so the Monitor can sample them
+// without ever stalling serving. Lock ordering, outermost first:
+// Master.mu, then Table.mu, then RegionServer.mu, then Region.mu, then
+// the kv.Store locks; no call path acquires them in the reverse
+// direction. Operations racing a restart, move or split fail with
+// ErrServerStopped, ErrWrongRegionServer or kv.ErrClosed and never
+// observe torn or lost data (migration paths seal the source store
+// before copying, so an acknowledged write is either copied or was
+// never acknowledged). The Client re-routes once on
+// ErrWrongRegionServer and kv.ErrClosed, which absorbs moves and
+// splits; ErrServerStopped during a restart surfaces to the caller,
+// whose retry policy is out of scope here, as with real HBase clients.
 package hbase
 
 import "fmt"

@@ -84,9 +84,12 @@ func (b *ManualBalancer) Assign(regions []string, servers []string) map[string]s
 }
 
 // Master is the cluster coordinator: table metadata, region-to-server
-// assignment, server membership, and balancing.
+// assignment, server membership, and balancing. Reads of the metadata
+// (routing, membership, assignment) take a shared lock so the client
+// hot path — Table, HostOf, Server on every operation — never
+// serializes behind other readers; mutations take the exclusive lock.
 type Master struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 
 	namenode *hdfs.Namenode
 	servers  map[string]*RegionServer
@@ -175,8 +178,8 @@ func (m *Master) DecommissionServer(name string) error {
 
 // Server returns a registered server.
 func (m *Master) Server(name string) (*RegionServer, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	rs, ok := m.servers[name]
 	if !ok {
 		return nil, ErrUnknownServer
@@ -186,8 +189,8 @@ func (m *Master) Server(name string) (*RegionServer, error) {
 
 // Servers returns all servers sorted by name.
 func (m *Master) Servers() []*RegionServer {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]*RegionServer, 0, len(m.servers))
 	for _, s := range m.servers {
 		out = append(out, s)
@@ -254,8 +257,8 @@ func (m *Master) CreateTable(name string, splitKeys []string) (*Table, error) {
 
 // Table returns table metadata.
 func (m *Master) Table(name string) (*Table, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	t, ok := m.tables[name]
 	if !ok {
 		return nil, ErrUnknownTable
@@ -265,8 +268,8 @@ func (m *Master) Table(name string) (*Table, error) {
 
 // Tables returns all table names sorted.
 func (m *Master) Tables() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]string, 0, len(m.tables))
 	for n := range m.tables {
 		out = append(out, n)
@@ -277,16 +280,16 @@ func (m *Master) Tables() []string {
 
 // HostOf returns the server currently hosting a region.
 func (m *Master) HostOf(regionName string) (string, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	s, ok := m.assignment[regionName]
 	return s, ok
 }
 
 // Assignment returns a copy of the full region -> server map.
 func (m *Master) Assignment() map[string]string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make(map[string]string, len(m.assignment))
 	for k, v := range m.assignment {
 		out[k] = v
@@ -331,8 +334,8 @@ func (m *Master) MoveRegion(regionName, dstServer string) error {
 // Moves returns the cumulative number of region moves, an actuation-cost
 // metric the Output Computation stage minimizes.
 func (m *Master) Moves() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.moves
 }
 

@@ -3,6 +3,7 @@ package hbase
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"met/internal/kv"
 	"met/internal/metrics"
@@ -11,6 +12,14 @@ import (
 // Region is one horizontal partition of an HTable: the half-open key
 // range [StartKey, EndKey). It owns a kv.Store holding its data and the
 // request counters the Monitor samples.
+//
+// A Region is safe for concurrent use. Its identity (name, table, key
+// range) is immutable; request counters are atomics so the serving hot
+// path never locks; the backing store is an atomic pointer because a
+// server restart swaps it (readers racing a swap see either the old
+// store — whose Close makes it return kv.ErrClosed — or the new one,
+// never a torn pointer); mu only guards the HDFS file list and the file
+// name sequence.
 type Region struct {
 	mu sync.Mutex
 
@@ -19,10 +28,21 @@ type Region struct {
 	startKey string
 	endKey   string // empty = unbounded
 
-	store    *kv.Store
+	store    atomic.Pointer[kv.Store]
 	files    []string // HDFS file names backing this region
-	requests metrics.RequestCounts
+	requests metrics.AtomicCounts
 	fileSeq  int
+
+	// flush-mirror bookkeeping: the engine flush counters already
+	// reflected in HDFS. Kept per region (not in a server-wide map) so
+	// concurrent writers to different regions never share a lock.
+	// mirrorStore pins which store the counters belong to: a writer
+	// that read stats from a store just retired by a restart must not
+	// apply them to the fresh store's zeroed bookkeeping (it would
+	// mirror a phantom file and desynchronize future mirrors).
+	mirrorStore     *kv.Store
+	mirroredFlushes int64
+	mirroredBytes   int64
 }
 
 // NewRegion creates a region over a fresh store with the given engine
@@ -35,13 +55,14 @@ func NewRegion(table, startKey, endKey string, storeCfg kv.Config) *Region {
 // mint daughter names distinct from the parent's (real HBase encodes a
 // region id for the same reason).
 func newRegionNamed(name, table, startKey, endKey string, storeCfg kv.Config) *Region {
-	return &Region{
+	r := &Region{
 		name:     name,
 		table:    table,
 		startKey: startKey,
 		endKey:   endKey,
-		store:    kv.NewStore(storeCfg),
 	}
+	r.store.Store(kv.NewStore(storeCfg))
+	return r
 }
 
 // Name returns the region identifier ("table,startKey").
@@ -65,21 +86,19 @@ func (r *Region) Contains(key string) bool {
 }
 
 // Store exposes the backing engine (tests and the server use it).
-func (r *Region) Store() *kv.Store { return r.store }
+func (r *Region) Store() *kv.Store { return r.store.Load() }
 
 // Requests returns the cumulative request counters.
 func (r *Region) Requests() metrics.RequestCounts {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.requests
+	return r.requests.Snapshot()
 }
 
-func (r *Region) countRead()  { r.mu.Lock(); r.requests.Reads++; r.mu.Unlock() }
-func (r *Region) countWrite() { r.mu.Lock(); r.requests.Writes++; r.mu.Unlock() }
-func (r *Region) countScan()  { r.mu.Lock(); r.requests.Scans++; r.mu.Unlock() }
+func (r *Region) countRead()  { r.requests.AddRead() }
+func (r *Region) countWrite() { r.requests.AddWrite() }
+func (r *Region) countScan()  { r.requests.AddScan() }
 
 // DataBytes returns the approximate bytes held by the region.
-func (r *Region) DataBytes() int64 { return int64(r.store.DataBytes()) }
+func (r *Region) DataBytes() int64 { return int64(r.Store().DataBytes()) }
 
 // Files returns the HDFS file names currently backing the region.
 func (r *Region) Files() []string {
@@ -96,9 +115,23 @@ func (r *Region) nextFileName() string {
 	return fmt.Sprintf("%s/hfile-%d", r.name, r.fileSeq)
 }
 
-func (r *Region) setFiles(files []string) {
+// swapFiles replaces exactly the prev snapshot of the HDFS file list
+// with repl, preserving files mirrored concurrently since the snapshot
+// was taken — a flush racing a major compaction must not be orphaned
+// in the namenode with no region referencing it.
+func (r *Region) swapFiles(prev, repl []string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	inPrev := make(map[string]bool, len(prev))
+	for _, f := range prev {
+		inPrev[f] = true
+	}
+	files := append([]string(nil), repl...)
+	for _, f := range r.files {
+		if !inPrev[f] {
+			files = append(files, f)
+		}
+	}
 	r.files = files
 }
 
@@ -108,22 +141,61 @@ func (r *Region) addFile(name string) {
 	r.files = append(r.files, name)
 }
 
+// noteFlushes reports whether st (read from store) shows engine flushes
+// not yet mirrored into HDFS and, if so, advances the bookkeeping and
+// returns the byte delta to mirror. At most one caller wins per flush;
+// stats read from a store the bookkeeping no longer tracks (swapped out
+// by a restart) are discarded.
+func (r *Region) noteFlushes(store *kv.Store, st kv.Stats) (flushed bool, deltaBytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if store != r.mirrorStore || st.Flushes <= r.mirroredFlushes {
+		return false, 0
+	}
+	delta := st.FlushedBytes - r.mirroredBytes
+	r.mirroredFlushes = st.Flushes
+	r.mirroredBytes = st.FlushedBytes
+	return true, delta
+}
+
+// resetMirror aligns the flush bookkeeping with the given store's
+// current counters; called when a server opens the region or reopens
+// its store.
+func (r *Region) resetMirror(store *kv.Store) {
+	st := store.Stats()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mirrorStore = store
+	r.mirroredFlushes = st.Flushes
+	r.mirroredBytes = st.FlushedBytes
+}
+
 // reopen replaces the backing store (used on server restart with a new
 // configuration): live entries are copied into a store built with the new
 // engine config. Real HBase re-reads HFiles from HDFS; the effect — a
-// cold cache and the same data — is identical.
+// cold cache and the same data — is identical. The old store is sealed
+// before the copy, so an in-flight write either completed before the
+// seal (and is captured by the copy) or fails with kv.ErrClosed without
+// being acknowledged — no acknowledged write is ever lost. In-flight
+// readers that grabbed the old store before the swap keep reading it
+// until it is closed, the same window real HBase clients see during a
+// restart.
 func (r *Region) reopen(storeCfg kv.Config) error {
-	entries, err := r.store.Scan(r.startKey, r.endKey, -1)
+	old := r.Store()
+	old.Seal()
+	entries, err := old.Scan(r.startKey, r.endKey, -1)
 	if err != nil {
+		old.Unseal()
 		return fmt.Errorf("hbase: reopen %s: %w", r.name, err)
 	}
 	ns := kv.NewStore(storeCfg)
 	for _, e := range entries {
 		if err := ns.Put(e.Key, e.Value); err != nil {
+			old.Unseal()
 			return fmt.Errorf("hbase: reopen %s: %w", r.name, err)
 		}
 	}
-	r.store.Close()
-	r.store = ns
+	r.store.Store(ns)
+	old.Close()
 	return nil
 }

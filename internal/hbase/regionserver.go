@@ -23,21 +23,32 @@ var (
 
 // RegionServer hosts a set of regions, applies one ServerConfig to all of
 // them, and is co-located with an HDFS datanode of the same name.
+//
+// Concurrency model: mu is a reader/writer lock over the server's
+// topology (the hosted-region map and its per-table sorted routing
+// index, cfg, cache, running, restarts). The serving hot path —
+// Get/Put/Delete/Scan — takes only the read lock, for just long enough
+// to route the key through the sorted index; the data operation itself
+// runs against the region's store, which has its own reader/writer
+// lock. Region open/close, restarts and rebalances take the write lock.
+// Request counters are atomics (metrics.AtomicCounts), so monitoring
+// never perturbs serving. Lock ordering is RegionServer.mu before
+// Region.mu before kv locks; no callee ever takes a RegionServer lock,
+// so the order cannot invert.
 type RegionServer struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 
 	name     string
 	cfg      ServerConfig
 	namenode *hdfs.Namenode
 	regions  map[string]*Region
+	// index routes lookups: per table, the hosted regions sorted by
+	// start key for binary search. Rebuilt on every open/close.
+	index    map[string][]*Region
 	cache    *kv.BlockCache // shared across the server's regions
-	requests metrics.RequestCounts
+	requests metrics.AtomicCounts
 	running  bool
 	restarts int
-
-	// flush bookkeeping for mirroring engine flushes into HDFS
-	lastFlushes map[string]int64
-	lastBytes   map[string]int64
 }
 
 // NewRegionServer creates a running server and registers its co-located
@@ -48,14 +59,13 @@ func NewRegionServer(name string, cfg ServerConfig, nn *hdfs.Namenode) (*RegionS
 	}
 	nn.AddDatanode(name)
 	return &RegionServer{
-		name:        name,
-		cfg:         cfg,
-		namenode:    nn,
-		regions:     make(map[string]*Region),
-		cache:       kv.NewBlockCache(int(cfg.BlockCacheBytes())),
-		running:     true,
-		lastFlushes: make(map[string]int64),
-		lastBytes:   make(map[string]int64),
+		name:     name,
+		cfg:      cfg,
+		namenode: nn,
+		regions:  make(map[string]*Region),
+		index:    make(map[string][]*Region),
+		cache:    kv.NewBlockCache(int(cfg.BlockCacheBytes())),
+		running:  true,
 	}, nil
 }
 
@@ -64,22 +74,22 @@ func (s *RegionServer) Name() string { return s.name }
 
 // Config returns the active configuration.
 func (s *RegionServer) Config() ServerConfig {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.cfg
 }
 
 // Running reports whether the server is serving requests.
 func (s *RegionServer) Running() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.running
 }
 
 // Restarts counts configuration restarts, an actuation-cost metric.
 func (s *RegionServer) Restarts() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.restarts
 }
 
@@ -90,6 +100,8 @@ func (s *RegionServer) storeConfig(numRegions int) kv.Config {
 	if numRegions < 1 {
 		numRegions = 1
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return kv.Config{
 		MemstoreFlushBytes: int(s.cfg.MemstoreBytes()) / numRegions,
 		BlockBytes:         s.cfg.BlockBytes,
@@ -98,15 +110,29 @@ func (s *RegionServer) storeConfig(numRegions int) kv.Config {
 	}
 }
 
+// rebuildIndexLocked recomputes the per-table sorted routing index from
+// the hosted-region map. Callers must hold the write lock. Open/close is
+// rare next to lookups, so paying O(n log n) here to make every lookup
+// O(log n) under a shared lock is the right trade.
+func (s *RegionServer) rebuildIndexLocked() {
+	idx := make(map[string][]*Region, len(s.index))
+	for _, r := range s.regions {
+		idx[r.Table()] = append(idx[r.Table()], r)
+	}
+	for _, regions := range idx {
+		sort.Slice(regions, func(i, j int) bool { return regions[i].StartKey() < regions[j].StartKey() })
+	}
+	s.index = idx
+}
+
 // OpenRegion starts hosting a region. The region's store keeps its data;
 // only bookkeeping changes hands.
 func (s *RegionServer) OpenRegion(r *Region) {
+	r.resetMirror(r.Store())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.regions[r.Name()] = r
-	st := r.Store().Stats()
-	s.lastFlushes[r.Name()] = st.Flushes
-	s.lastBytes[r.Name()] = st.FlushedBytes
+	s.rebuildIndexLocked()
 }
 
 // CloseRegion stops hosting a region and returns it (nil when absent).
@@ -114,16 +140,17 @@ func (s *RegionServer) CloseRegion(name string) *Region {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r := s.regions[name]
-	delete(s.regions, name)
-	delete(s.lastFlushes, name)
-	delete(s.lastBytes, name)
+	if r != nil {
+		delete(s.regions, name)
+		s.rebuildIndexLocked()
+	}
 	return r
 }
 
 // Regions returns the hosted regions sorted by name.
 func (s *RegionServer) Regions() []*Region {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]*Region, 0, len(s.regions))
 	for _, r := range s.regions {
 		out = append(out, r)
@@ -134,22 +161,27 @@ func (s *RegionServer) Regions() []*Region {
 
 // NumRegions returns the hosted region count.
 func (s *RegionServer) NumRegions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.regions)
 }
 
-// lookup locates the hosted region containing key for table.
+// lookup locates the hosted region containing key for table via binary
+// search over the table's sorted start keys, under the shared lock.
 func (s *RegionServer) lookup(table, key string) (*Region, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.running {
 		return nil, ErrServerStopped
 	}
-	for _, r := range s.regions {
-		if r.Table() == table && r.Contains(key) {
-			return r, nil
-		}
+	regions := s.index[table]
+	// The last region whose start key is <= key is the only candidate.
+	i := sort.Search(len(regions), func(i int) bool { return regions[i].StartKey() > key })
+	if i == 0 {
+		return nil, ErrWrongRegionServer
+	}
+	if r := regions[i-1]; r.Contains(key) {
+		return r, nil
 	}
 	return nil, ErrWrongRegionServer
 }
@@ -161,9 +193,7 @@ func (s *RegionServer) Get(table, key string) ([]byte, error) {
 		return nil, err
 	}
 	r.countRead()
-	s.mu.Lock()
-	s.requests.Reads++
-	s.mu.Unlock()
+	s.requests.AddRead()
 	return r.Store().Get(key)
 }
 
@@ -174,9 +204,7 @@ func (s *RegionServer) Put(table, key string, value []byte) error {
 		return err
 	}
 	r.countWrite()
-	s.mu.Lock()
-	s.requests.Writes++
-	s.mu.Unlock()
+	s.requests.AddWrite()
 	if err := r.Store().Put(key, value); err != nil {
 		return err
 	}
@@ -191,9 +219,7 @@ func (s *RegionServer) Delete(table, key string) error {
 		return err
 	}
 	r.countWrite()
-	s.mu.Lock()
-	s.requests.Writes++
-	s.mu.Unlock()
+	s.requests.AddWrite()
 	if err := r.Store().Delete(key); err != nil {
 		return err
 	}
@@ -209,9 +235,7 @@ func (s *RegionServer) Scan(table, start, end string, limit int) ([]kv.Entry, er
 		return nil, err
 	}
 	r.countScan()
-	s.mu.Lock()
-	s.requests.Scans++
-	s.mu.Unlock()
+	s.requests.AddScan()
 	scanEnd := end
 	if r.EndKey() != "" && (scanEnd == "" || r.EndKey() < scanEnd) {
 		scanEnd = r.EndKey()
@@ -223,27 +247,21 @@ func (s *RegionServer) Scan(table, start, end string, limit int) ([]kv.Entry, er
 // locally to this server, so the namenode's locality index tracks where
 // each region's data physically lives. Engine-internal minor compactions
 // are not mirrored file-by-file; locality fidelity is at flush/compact
-// granularity, which is what the paper's index measures.
+// granularity, which is what the paper's index measures. The bookkeeping
+// lives in the region (noteFlushes), so concurrent writers to different
+// regions never contend on a server-wide lock here.
 func (s *RegionServer) mirrorFlushes(r *Region) {
-	st := r.Store().Stats()
-	s.mu.Lock()
-	prevFlushes := s.lastFlushes[r.Name()]
-	prevBytes := s.lastBytes[r.Name()]
-	if st.Flushes > prevFlushes {
-		s.lastFlushes[r.Name()] = st.Flushes
-		s.lastBytes[r.Name()] = st.FlushedBytes
+	store := r.Store()
+	flushed, size := r.noteFlushes(store, store.Stats())
+	if !flushed {
+		return
 	}
-	name := s.name
-	s.mu.Unlock()
-	if st.Flushes > prevFlushes {
-		file := r.nextFileName()
-		size := st.FlushedBytes - prevBytes
-		if size <= 0 {
-			size = 1
-		}
-		if err := s.namenode.WriteFile(file, size, name); err == nil {
-			r.addFile(file)
-		}
+	file := r.nextFileName()
+	if size <= 0 {
+		size = 1
+	}
+	if err := s.namenode.WriteFile(file, size, s.name); err == nil {
+		r.addFile(file)
 	}
 }
 
@@ -252,27 +270,34 @@ func (s *RegionServer) mirrorFlushes(r *Region) {
 // the locality index falls below its threshold. It returns the number of
 // bytes rewritten (the paper charges ~1 minute per GB for this).
 func (s *RegionServer) MajorCompact(regionName string) (int64, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	r, ok := s.regions[regionName]
-	name := s.name
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
-		return 0, fmt.Errorf("hbase: major compact: region %q not hosted on %s", regionName, name)
+		return 0, fmt.Errorf("hbase: major compact: region %q not hosted on %s", regionName, s.name)
 	}
+	// Snapshot the file list before rewriting: a flush mirrored by a
+	// concurrent writer after this point is preserved by swapFiles, so
+	// no namenode file is ever orphaned with no region referencing it.
+	// The preserved file's bytes may also be inside the compacted
+	// output (if its flush beat Compact below), briefly double-counting
+	// them in the namenode; the next major compaction folds the file
+	// into its prev snapshot and reclaims it, so the drift is bounded.
+	prev := r.Files()
 	r.Store().Compact(true)
-	for _, f := range r.Files() {
+	for _, f := range prev {
 		_ = s.namenode.DeleteFile(f)
 	}
 	size := r.DataBytes()
 	if size <= 0 {
-		r.setFiles(nil)
+		r.swapFiles(prev, nil)
 		return 0, nil
 	}
 	file := r.nextFileName()
-	if err := s.namenode.WriteFile(file, size, name); err != nil {
+	if err := s.namenode.WriteFile(file, size, s.name); err != nil {
 		return 0, err
 	}
-	r.setFiles([]string{file})
+	r.swapFiles(prev, []string{file})
 	return size, nil
 }
 
@@ -288,9 +313,7 @@ func (s *RegionServer) Locality() float64 {
 
 // Requests returns the server-level cumulative counters.
 func (s *RegionServer) Requests() metrics.RequestCounts {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.requests
+	return s.requests.Snapshot()
 }
 
 // Stop takes the server offline (requests fail until Start).
@@ -328,19 +351,34 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 	s.mu.Unlock()
 
 	sort.Slice(regions, func(i, j int) bool { return regions[i].Name() < regions[j].Name() })
+	var errs []error
 	for _, r := range regions {
-		if err := r.reopen(s.storeConfig(n)); err != nil {
-			return err
+		// A region moved away while we were down is the new host's to
+		// reopen, not ours.
+		s.mu.RLock()
+		_, hosted := s.regions[r.Name()]
+		s.mu.RUnlock()
+		if !hosted {
+			continue
 		}
-		st := r.Store().Stats()
-		s.mu.Lock()
-		s.lastFlushes[r.Name()] = st.Flushes
-		s.lastBytes[r.Name()] = st.FlushedBytes
-		s.mu.Unlock()
+		if err := r.reopen(s.storeConfig(n)); err != nil {
+			// A split or close that raced us retired the store; if the
+			// region is truly gone that is not our failure. Either way
+			// the server must come back up — a wedged-stopped server
+			// would fail every request forever.
+			s.mu.RLock()
+			_, hosted = s.regions[r.Name()]
+			s.mu.RUnlock()
+			if hosted {
+				errs = append(errs, err)
+			}
+			continue
+		}
+		r.resetMirror(r.Store())
 	}
 	s.mu.Lock()
 	s.restarts++
 	s.running = true
 	s.mu.Unlock()
-	return nil
+	return errors.Join(errs...)
 }

@@ -40,7 +40,12 @@ func (m *Master) SplitRegion(regionName string) error {
 	if parent == nil {
 		return fmt.Errorf("hbase: split: region %q not open on %q", regionName, host)
 	}
+	// Seal the parent before copying: an in-flight write either landed
+	// before the seal (and reaches a daughter) or fails unacknowledged
+	// with kv.ErrClosed — never acknowledged-then-dropped.
+	parent.Store().Seal()
 	reopen := func() {
+		parent.Store().Unseal()
 		rs.OpenRegion(parent)
 	}
 
@@ -90,6 +95,9 @@ func (m *Master) SplitRegion(regionName string) error {
 	m.assignment[lo.Name()] = host
 	m.assignment[hi.Name()] = host
 	m.mu.Unlock()
+	// The daughters are authoritative; stragglers still holding the
+	// parent's store see ErrClosed from here on.
+	parent.Store().Close()
 	return nil
 }
 

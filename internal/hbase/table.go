@@ -9,8 +9,10 @@ import (
 // key space. The data model is the paper's: a sorted map indexed by row
 // key (column families are flattened into the key by the workloads, which
 // use a single family).
+// Table metadata is read on every client operation (RegionFor) and
+// mutated only by splits and table creation, so readers share the lock.
 type Table struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	name    string
 	bounds  []keyRange
 	regions []*Region // sorted by start key
@@ -45,22 +47,22 @@ func (t *Table) addRegion(r *Region) {
 
 // Regions returns the table's regions in key order.
 func (t *Table) Regions() []*Region {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return append([]*Region(nil), t.regions...)
 }
 
 // NumRegions returns the number of regions.
 func (t *Table) NumRegions() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.regions)
 }
 
 // RegionFor returns the region containing key.
 func (t *Table) RegionFor(key string) *Region {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	// Last region whose start key <= key.
 	i := sort.Search(len(t.regions), func(i int) bool { return t.regions[i].StartKey() > key })
 	if i == 0 {
@@ -85,8 +87,8 @@ func (t *Table) replaceRegion(parent, lo, hi *Region) {
 
 // RegionNames returns the region names in key order.
 func (t *Table) RegionNames() []string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]string, len(t.regions))
 	for i, r := range t.regions {
 		out[i] = r.Name()

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ErrNoDatanodes is returned when writing with no registered datanodes.
@@ -52,7 +53,12 @@ type fileInfo struct {
 }
 
 // Namenode is the metadata service: files, blocks, replica locations.
+// It is safe for concurrent use: region servers mirror flushes into it
+// from the parallel write path while the Monitor reads locality, so all
+// metadata lives behind one reader/writer lock (file writes are rare —
+// flush/compact granularity — which keeps the exclusive side cold).
 type Namenode struct {
+	mu          sync.RWMutex
 	replication int
 	datanodes   map[string]*datanodeState
 	files       map[string]*fileInfo
@@ -82,6 +88,8 @@ func (n *Namenode) Replication() int { return n.replication }
 
 // AddDatanode registers (or revives) a datanode.
 func (n *Namenode) AddDatanode(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if dn, ok := n.datanodes[name]; ok {
 		dn.alive = true
 		return
@@ -93,6 +101,8 @@ func (n *Namenode) AddDatanode(name string) {
 // empty are lost (the caller decides whether that matters); remaining
 // replicas keep serving.
 func (n *Namenode) RemoveDatanode(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if dn, ok := n.datanodes[name]; ok {
 		dn.alive = false
 	}
@@ -100,6 +110,8 @@ func (n *Namenode) RemoveDatanode(name string) {
 
 // Datanodes returns the names of live datanodes, sorted.
 func (n *Namenode) Datanodes() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	var out []string
 	for name, dn := range n.datanodes {
 		if dn.alive {
@@ -108,6 +120,17 @@ func (n *Namenode) Datanodes() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// liveCountLocked counts live datanodes; callers hold the lock.
+func (n *Namenode) liveCountLocked() int {
+	count := 0
+	for _, dn := range n.datanodes {
+		if dn.alive {
+			count++
+		}
+	}
+	return count
 }
 
 // liveReplicas filters a replica list down to live datanodes.
@@ -127,7 +150,9 @@ func (n *Namenode) liveReplicas(replicas []string) []string {
 // with datanodes exploits. Remaining replicas go to the least-used other
 // datanodes.
 func (n *Namenode) WriteFile(name string, size int64, localNode string) error {
-	if len(n.Datanodes()) == 0 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.liveCountLocked() == 0 {
 		return ErrNoDatanodes
 	}
 	if old, ok := n.files[name]; ok {
@@ -190,6 +215,8 @@ func (n *Namenode) placeReplicas(localNode string) []string {
 
 // DeleteFile removes a file and frees its replicas' space.
 func (n *Namenode) DeleteFile(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	f, ok := n.files[name]
 	if !ok {
 		return ErrUnknownFile
@@ -211,6 +238,8 @@ func (n *Namenode) releaseFile(f *fileInfo) {
 
 // FileSize returns the recorded size of a file.
 func (n *Namenode) FileSize(name string) (int64, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	f, ok := n.files[name]
 	if !ok {
 		return 0, ErrUnknownFile
@@ -220,12 +249,16 @@ func (n *Namenode) FileSize(name string) (int64, error) {
 
 // HasFile reports whether the file exists.
 func (n *Namenode) HasFile(name string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	_, ok := n.files[name]
 	return ok
 }
 
 // Files returns all file names, sorted.
 func (n *Namenode) Files() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]string, 0, len(n.files))
 	for name := range n.files {
 		out = append(out, name)
@@ -236,6 +269,12 @@ func (n *Namenode) Files() []string {
 
 // LocalBytes returns how many of the file's bytes have a replica on node.
 func (n *Namenode) LocalBytes(name, node string) (int64, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.localBytesLocked(name, node)
+}
+
+func (n *Namenode) localBytesLocked(name, node string) (int64, error) {
 	f, ok := n.files[name]
 	if !ok {
 		return 0, ErrUnknownFile
@@ -257,6 +296,8 @@ func (n *Namenode) LocalBytes(name, node string) (int64, error) {
 // server. Files that do not exist are ignored; an empty byte total counts
 // as fully local (an idle server should not look degraded).
 func (n *Namenode) Locality(node string, files []string) float64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	var total, local int64
 	for _, name := range files {
 		f, ok := n.files[name]
@@ -264,7 +305,7 @@ func (n *Namenode) Locality(node string, files []string) float64 {
 			continue
 		}
 		total += f.size
-		lb, _ := n.LocalBytes(name, node)
+		lb, _ := n.localBytesLocked(name, node)
 		local += lb
 	}
 	if total == 0 {
@@ -275,6 +316,8 @@ func (n *Namenode) Locality(node string, files []string) float64 {
 
 // UsedBytes returns the bytes stored on a datanode.
 func (n *Namenode) UsedBytes(node string) int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	if dn, ok := n.datanodes[node]; ok {
 		return dn.used
 	}
@@ -283,6 +326,8 @@ func (n *Namenode) UsedBytes(node string) int64 {
 
 // TotalBytes returns the bytes of all files (logical, pre-replication).
 func (n *Namenode) TotalBytes() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	var total int64
 	for _, f := range n.files {
 		total += f.size
@@ -294,6 +339,8 @@ func (n *Namenode) TotalBytes() int64 {
 // onto the least-used live datanodes. It returns the number of new
 // replicas created.
 func (n *Namenode) Rebalance() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	created := 0
 	for _, f := range n.files {
 		for bi := range f.blocks {

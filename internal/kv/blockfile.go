@@ -109,7 +109,7 @@ func (f *StoreFile) blockFor(key string) int {
 
 // get looks up the newest version of key, loading the candidate block
 // through the cache. found=false means the key is not in this file.
-func (f *StoreFile) get(key string, cache *BlockCache, stats *Stats) (Entry, bool) {
+func (f *StoreFile) get(key string, cache *BlockCache, stats *storeStats) (Entry, bool) {
 	bi := f.blockFor(key)
 	if bi < 0 {
 		return Entry{}, false
@@ -125,37 +125,37 @@ func (f *StoreFile) get(key string, cache *BlockCache, stats *Stats) (Entry, boo
 }
 
 // loadBlock fetches block bi through the cache, recording hit/miss stats.
-func (f *StoreFile) loadBlock(bi int, cache *BlockCache, stats *Stats) *Block {
+func (f *StoreFile) loadBlock(bi int, cache *BlockCache, stats *storeStats) *Block {
 	if cache == nil {
 		if stats != nil {
-			stats.CacheMisses++
-			stats.BlocksRead++
+			stats.cacheMisses.Add(1)
+			stats.blocksRead.Add(1)
 		}
 		return f.blocks[bi]
 	}
 	key := blockKey{file: f.id, block: bi}
 	if b, ok := cache.get(key); ok {
 		if stats != nil {
-			stats.CacheHits++
+			stats.cacheHits.Add(1)
 		}
 		return b
 	}
 	b := f.blocks[bi]
 	cache.put(key, b)
 	if stats != nil {
-		stats.CacheMisses++
-		stats.BlocksRead++
+		stats.cacheMisses.Add(1)
+		stats.blocksRead.Add(1)
 	}
 	return b
 }
 
 // iterator walks the whole file in order, loading blocks through cache.
-func (f *StoreFile) iterator(cache *BlockCache, stats *Stats) Iterator {
+func (f *StoreFile) iterator(cache *BlockCache, stats *storeStats) Iterator {
 	return &fileIter{f: f, cache: cache, stats: stats, block: -1}
 }
 
 // iteratorFrom positions at the first entry with key >= start.
-func (f *StoreFile) iteratorFrom(start string, cache *BlockCache, stats *Stats) Iterator {
+func (f *StoreFile) iteratorFrom(start string, cache *BlockCache, stats *storeStats) Iterator {
 	it := &fileIter{f: f, cache: cache, stats: stats, block: -1}
 	if f.entries == 0 || start > f.maxKey {
 		it.block = len(f.blocks) // exhausted
@@ -175,7 +175,7 @@ func (f *StoreFile) iteratorFrom(start string, cache *BlockCache, stats *Stats) 
 type fileIter struct {
 	f     *StoreFile
 	cache *BlockCache
-	stats *Stats
+	stats *storeStats
 	block int
 	cur   *Block
 	idx   int

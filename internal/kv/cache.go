@@ -1,6 +1,9 @@
 package kv
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+)
 
 // blockKey identifies a cached block by file and block index.
 type blockKey struct {
@@ -11,7 +14,15 @@ type blockKey struct {
 // BlockCache is a byte-capacity LRU over store-file blocks, the analogue
 // of HBase's block cache. Its capacity is the knob MeT's node profiles
 // tune: read-profile nodes get 55% of the heap, write-profile nodes 10%.
+//
+// The cache is safe for concurrent use: one region server shares a
+// single BlockCache across all of its regions' stores, whose readers run
+// in parallel under their stores' read locks. Every lookup mutates the
+// LRU recency list, so even get takes the internal mutex; the critical
+// sections are a few pointer moves, which keeps the cache far from being
+// the bottleneck the coarse store lock used to be.
 type BlockCache struct {
+	mu       sync.Mutex
 	capacity int
 	used     int
 	order    *list.List // front = most recently used
@@ -38,6 +49,8 @@ func NewBlockCache(capacity int) *BlockCache {
 
 // get returns the cached block and promotes it to most recently used.
 func (c *BlockCache) get(k blockKey) (*Block, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	el, ok := c.items[k]
 	if !ok {
 		c.misses++
@@ -51,6 +64,8 @@ func (c *BlockCache) get(k blockKey) (*Block, bool) {
 // put inserts a block, evicting least-recently-used blocks as needed.
 // Blocks larger than the whole capacity are not cached.
 func (c *BlockCache) put(k blockKey, b *Block) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if b.Bytes() > c.capacity {
 		return
 	}
@@ -65,11 +80,11 @@ func (c *BlockCache) put(k blockKey, b *Block) {
 		c.used += b.Bytes()
 	}
 	for c.used > c.capacity {
-		c.evictOldest()
+		c.evictOldestLocked()
 	}
 }
 
-func (c *BlockCache) evictOldest() {
+func (c *BlockCache) evictOldestLocked() {
 	el := c.order.Back()
 	if el == nil {
 		return
@@ -84,6 +99,8 @@ func (c *BlockCache) evictOldest() {
 // invalidateFile drops every cached block of the given file; called when
 // compaction retires a file.
 func (c *BlockCache) invalidateFile(fileID uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for k, el := range c.items {
 		if k.file == fileID {
 			item := el.Value.(*cacheItem)
@@ -99,23 +116,39 @@ func (c *BlockCache) invalidateFile(fileID uint64) {
 // store, as real HBase must (the paper calls out the lack of online
 // reconfiguration as the dominant actuation cost).
 func (c *BlockCache) Resize(capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.capacity = capacity
 	for c.used > c.capacity {
-		c.evictOldest()
+		c.evictOldestLocked()
 	}
 }
 
 // Used returns the current cached bytes.
-func (c *BlockCache) Used() int { return c.used }
+func (c *BlockCache) Used() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
 
 // Capacity returns the configured byte capacity.
-func (c *BlockCache) Capacity() int { return c.capacity }
+func (c *BlockCache) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
 
 // Len returns the number of cached blocks.
-func (c *BlockCache) Len() int { return c.order.Len() }
+func (c *BlockCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
 
 // HitRatio returns hits/(hits+misses) observed by the cache itself.
 func (c *BlockCache) HitRatio() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.hits+c.misses == 0 {
 		return 0
 	}
@@ -123,4 +156,8 @@ func (c *BlockCache) HitRatio() float64 {
 }
 
 // Evictions returns the number of blocks evicted so far.
-func (c *BlockCache) Evictions() int64 { return c.evictions }
+func (c *BlockCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

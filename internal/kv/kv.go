@@ -13,6 +13,19 @@
 // It is a real store — data written is data served — so the functional
 // layer of the reproduction (examples, unit and property tests) runs
 // against genuine reads, writes, scans, flushes and compactions.
+//
+// # Concurrency model
+//
+// A Store is safe for concurrent use by any number of goroutines. Its
+// reader/writer lock lets Gets and Scans proceed in parallel over the
+// immutable store-file stack and the memstore, while Puts, Deletes,
+// flushes, compactions, Recover and Close serialize as exclusive
+// writers. Store files are immutable after construction and need no
+// locking; the BlockCache is internally locked (every lookup mutates LRU
+// recency) and may be shared across stores; the engine counters behind
+// Stats are atomics, so the hot read path never takes an exclusive lock.
+// Lock ordering is Store.mu before BlockCache.mu — the cache never calls
+// back into a store, so the order cannot invert.
 package kv
 
 import (

@@ -56,17 +56,61 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// storeStats holds the engine counters as atomics so the concurrent read
+// path (Get/Scan under the store's read lock) can bump them without an
+// exclusive lock. Stats() snapshots them into the exported Stats value.
+type storeStats struct {
+	gets, puts, deletes    atomic.Int64
+	scans, scannedEntries  atomic.Int64
+	cacheHits, cacheMisses atomic.Int64
+	flushes, flushedBytes  atomic.Int64
+	compactions            atomic.Int64
+	compactedBytes         atomic.Int64
+	blocksRead             atomic.Int64
+}
+
+func (st *storeStats) snapshot() Stats {
+	return Stats{
+		Gets:           st.gets.Load(),
+		Puts:           st.puts.Load(),
+		Deletes:        st.deletes.Load(),
+		Scans:          st.scans.Load(),
+		ScannedEntries: st.scannedEntries.Load(),
+		CacheHits:      st.cacheHits.Load(),
+		CacheMisses:    st.cacheMisses.Load(),
+		Flushes:        st.flushes.Load(),
+		FlushedBytes:   st.flushedBytes.Load(),
+		Compactions:    st.compactions.Load(),
+		CompactedBytes: st.compactedBytes.Load(),
+		BlocksRead:     st.blocksRead.Load(),
+	}
+}
+
 // Store is the LSM engine: one memstore plus a stack of immutable store
 // files, newest first, fronted by a block cache. A Store backs exactly
 // one Region in the simulated HBase.
+//
+// Concurrency model: mu is a reader/writer lock over the engine
+// structure (memstore pointer and contents, file stack, seq, closed).
+// Get and Scan take the read lock, so any number of readers proceed in
+// parallel; Put, Delete, Flush, Compact, Recover and Close take the
+// write lock, which also makes them the only memstore mutators — a
+// skiplist traversal under RLock can therefore never observe a
+// half-linked node. Store files are immutable once built, the shared
+// BlockCache is internally locked, and engine counters are atomics, so
+// the read path touches no unprotected shared state. A Scan holds the
+// read lock for its whole iteration: it sees a consistent snapshot and
+// delays writers, which matches HBase's scanner semantics at region
+// granularity.
 type Store struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	cfg    Config
 	mem    *Memstore
 	files  []*StoreFile // newest first
 	cache  *BlockCache
-	stats  Stats
-	seq    uint64 // logical clock for timestamps
+	stats  storeStats
+	seq    uint64 // logical clock for timestamps; mutated under mu (write)
+	sealed bool
 	closed bool
 }
 
@@ -87,7 +131,8 @@ func NewStore(cfg Config) *Store {
 // Config returns the store's configuration.
 func (s *Store) Config() Config { return s.cfg }
 
-// nextTimestamp returns a strictly increasing logical timestamp.
+// nextTimestamp returns a strictly increasing logical timestamp. Callers
+// must hold the write lock.
 func (s *Store) nextTimestamp() uint64 {
 	s.seq++
 	return s.seq
@@ -98,7 +143,7 @@ func (s *Store) nextTimestamp() uint64 {
 func (s *Store) Put(key string, value []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.sealed {
 		return ErrClosed
 	}
 	e := Entry{Key: key, Value: append([]byte(nil), value...), Timestamp: s.nextTimestamp()}
@@ -108,8 +153,7 @@ func (s *Store) Put(key string, value []byte) error {
 		}
 	}
 	s.mem.Add(e)
-	s.stats.Puts++
-	s.stats.MemstoreCurrent = int64(s.mem.Bytes())
+	s.stats.puts.Add(1)
 	if s.mem.Bytes() >= s.cfg.MemstoreFlushBytes {
 		s.flushLocked()
 	}
@@ -120,7 +164,7 @@ func (s *Store) Put(key string, value []byte) error {
 func (s *Store) Delete(key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.sealed {
 		return ErrClosed
 	}
 	e := Entry{Key: key, Timestamp: s.nextTimestamp(), Tombstone: true}
@@ -130,22 +174,23 @@ func (s *Store) Delete(key string) error {
 		}
 	}
 	s.mem.Add(e)
-	s.stats.Deletes++
-	s.stats.MemstoreCurrent = int64(s.mem.Bytes())
+	s.stats.deletes.Add(1)
 	if s.mem.Bytes() >= s.cfg.MemstoreFlushBytes {
 		s.flushLocked()
 	}
 	return nil
 }
 
-// Get returns the newest live value for key, or ErrNotFound.
+// Get returns the newest live value for key, or ErrNotFound. Gets run
+// concurrently with each other and with Scans; they only exclude
+// writers.
 func (s *Store) Get(key string) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
-	s.stats.Gets++
+	s.stats.gets.Add(1)
 	best, ok := s.mem.Get(key)
 	for _, f := range s.files {
 		if ok && best.Timestamp >= f.MaxTimestamp() {
@@ -165,14 +210,15 @@ func (s *Store) Get(key string) ([]byte, error) {
 
 // Scan returns up to limit live entries with start <= key < end, in key
 // order. An empty end means "to the end of the store"; limit < 0 means
-// unlimited.
+// unlimited. The read lock is held for the whole iteration, so the scan
+// sees one consistent snapshot.
 func (s *Store) Scan(start, end string, limit int) ([]Entry, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
-	s.stats.Scans++
+	s.stats.scans.Add(1)
 	sources := make([]Iterator, 0, len(s.files)+1)
 	sources = append(sources, s.mem.IteratorFrom(start))
 	for _, f := range s.files {
@@ -180,12 +226,14 @@ func (s *Store) Scan(start, end string, limit int) ([]Entry, error) {
 	}
 	it := newLimitIterator(newBoundIterator(newDedupIterator(newMergeIterator(sources), true), end), limit)
 	var out []Entry
+	scanned := int64(0)
 	for it.Next() {
 		e := it.Entry()
 		e.Value = append([]byte(nil), e.Value...)
 		out = append(out, e)
-		s.stats.ScannedEntries++
+		scanned++
 	}
+	s.stats.scannedEntries.Add(scanned)
 	return out, nil
 }
 
@@ -208,10 +256,9 @@ func (s *Store) flushLocked() {
 	f := BuildStoreFile(nextFileID(), entries, s.cfg.BlockBytes)
 	maxTS := s.mem.MaxTimestamp()
 	s.files = append([]*StoreFile{f}, s.files...)
-	s.stats.Flushes++
-	s.stats.FlushedBytes += int64(f.Bytes())
+	s.stats.flushes.Add(1)
+	s.stats.flushedBytes.Add(int64(f.Bytes()))
 	s.mem = NewMemstore(s.cfg.Seed + f.ID())
-	s.stats.MemstoreCurrent = 0
 	if s.cfg.WAL != nil {
 		s.cfg.WAL.Truncate(maxTS)
 	}
@@ -253,23 +300,24 @@ func (s *Store) compactLocked(major bool) {
 	}
 	merged := BuildStoreFile(nextFileID(), entries, s.cfg.BlockBytes)
 	s.files = []*StoreFile{merged}
-	s.stats.Compactions++
-	s.stats.CompactedBytes += int64(inBytes)
+	s.stats.compactions.Add(1)
+	s.stats.compactedBytes.Add(int64(inBytes))
 }
 
 // Stats returns a snapshot of the engine counters.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.MemstoreCurrent = int64(s.mem.Bytes())
+	s.mu.RLock()
+	memBytes := int64(s.mem.Bytes())
+	s.mu.RUnlock()
+	st := s.stats.snapshot()
+	st.MemstoreCurrent = memBytes
 	return st
 }
 
 // DataBytes returns the approximate total bytes held (memstore + files).
 func (s *Store) DataBytes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	total := s.mem.Bytes()
 	for _, f := range s.files {
 		total += f.Bytes()
@@ -279,15 +327,13 @@ func (s *Store) DataBytes() int {
 
 // NumFiles returns the current number of store files.
 func (s *Store) NumFiles() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.files)
 }
 
 // CacheHitRatio exposes the block cache's observed hit ratio.
 func (s *Store) CacheHitRatio() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.cache.HitRatio()
 }
 
@@ -308,6 +354,26 @@ func (s *Store) Recover() int {
 		n++
 	}
 	return n
+}
+
+// Seal stops accepting mutations — Put and Delete fail with ErrClosed —
+// while reads keep being served. Region migrations (reopen on restart,
+// splits) seal the source store before copying it so that every write
+// ever acknowledged is either in the copy or was never acknowledged:
+// a Put that returned nil completed under the write lock before Seal
+// acquired it, and is therefore visible to the migration's Scan.
+func (s *Store) Seal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealed = true
+}
+
+// Unseal re-enables mutations on a sealed store; an aborted migration
+// uses it to hand the store back to the serving path.
+func (s *Store) Unseal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealed = false
 }
 
 // Close marks the store closed; subsequent operations fail with

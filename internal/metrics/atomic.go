@@ -1,0 +1,34 @@
+package metrics
+
+import "sync/atomic"
+
+// AtomicCounts is the concurrency-safe accumulator behind RequestCounts:
+// three independent atomic counters for reads, writes and scans. The
+// serving hot path (region servers and regions) bumps these on every
+// operation, so they must never take a lock — the adaptive-monitoring
+// literature's rule that instrumentation must not perturb the system it
+// observes. The Monitor reads them with Snapshot, which is a consistent
+// enough view for MeT: the paper's classifier consumes per-interval
+// deltas of large counters, where a momentarily torn read across the
+// three fields is statistically invisible.
+type AtomicCounts struct {
+	reads, writes, scans atomic.Int64
+}
+
+// AddRead counts one read request.
+func (c *AtomicCounts) AddRead() { c.reads.Add(1) }
+
+// AddWrite counts one write (put or delete) request.
+func (c *AtomicCounts) AddWrite() { c.writes.Add(1) }
+
+// AddScan counts one scan request.
+func (c *AtomicCounts) AddScan() { c.scans.Add(1) }
+
+// Snapshot returns the current counter values as a plain RequestCounts.
+func (c *AtomicCounts) Snapshot() RequestCounts {
+	return RequestCounts{
+		Reads:  c.reads.Load(),
+		Writes: c.writes.Load(),
+		Scans:  c.scans.Load(),
+	}
+}

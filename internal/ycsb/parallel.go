@@ -1,0 +1,208 @@
+package ycsb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"met/internal/hbase"
+	"met/internal/kv"
+	"met/internal/sim"
+)
+
+// numOpTypes sizes the per-op completion counters (OpRead..OpReadModifyWrite).
+const numOpTypes = int(OpReadModifyWrite) + 1
+
+// ParallelRunner drives one workload against the functional hbase
+// cluster from many goroutines at once — the closed-loop thread pool
+// real YCSB uses (the paper runs 50 client threads per workload). Shared
+// state is limited to atomics: per-op completion counters, the error
+// count and the insert cursor that extends the keyspace; every worker
+// owns its RNG and key generator, so runs are deterministic for a given
+// (seed, concurrency) pair and the workers never share a lock.
+type ParallelRunner struct {
+	W           Workload
+	Client      *hbase.Client
+	Concurrency int
+
+	inserts   atomic.Int64
+	completed [numOpTypes]atomic.Int64
+	errors    atomic.Int64
+	transient atomic.Int64
+}
+
+// NewParallelRunner prepares a runner fanning the workload across
+// concurrency goroutines; call Load before Run.
+func NewParallelRunner(w Workload, c *hbase.Client, concurrency int) (*ParallelRunner, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if concurrency < 1 {
+		return nil, fmt.Errorf("ycsb: concurrency %d < 1", concurrency)
+	}
+	p := &ParallelRunner{W: w, Client: c, Concurrency: concurrency}
+	p.inserts.Store(w.RecordCount)
+	return p, nil
+}
+
+// CreateTable creates the workload's pre-split table on the master.
+func (p *ParallelRunner) CreateTable(m *hbase.Master) error {
+	_, err := m.CreateTable(p.W.TableName(), p.W.SplitKeys())
+	return err
+}
+
+// Load populates the table with the initial records, fanning disjoint
+// key ranges across the workers. count <= 0 loads the full RecordCount.
+func (p *ParallelRunner) Load(count int64) error {
+	if count <= 0 || count > p.W.RecordCount {
+		count = p.W.RecordCount
+	}
+	val := p.value()
+	var wg sync.WaitGroup
+	errs := make([]error, p.Concurrency)
+	for wkr := 0; wkr < p.Concurrency; wkr++ {
+		lo := count * int64(wkr) / int64(p.Concurrency)
+		hi := count * int64(wkr+1) / int64(p.Concurrency)
+		wg.Add(1)
+		go func(wkr int, lo, hi int64) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if err := p.Client.Put(p.W.TableName(), p.W.Key(i), val); err != nil {
+					errs[wkr] = fmt.Errorf("ycsb: load %s: %w", p.W.Name, err)
+					return
+				}
+			}
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// value builds a deterministic filler value of the configured size.
+func (p *ParallelRunner) value() []byte {
+	return bytes.Repeat([]byte{'x'}, p.W.FieldLengthBytes)
+}
+
+// Run executes n operations split across the configured workers,
+// stopping each worker at its first hard error and returning the union
+// of failures. Reads of missing keys are benign (sparse test loads).
+func (p *ParallelRunner) Run(n int, seed uint64) error {
+	var wg sync.WaitGroup
+	errs := make([]error, p.Concurrency)
+	for wkr := 0; wkr < p.Concurrency; wkr++ {
+		share := n / p.Concurrency
+		if wkr < n%p.Concurrency {
+			share++
+		}
+		if share == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(wkr, share int) {
+			defer wg.Done()
+			w := &worker{
+				p:   p,
+				rng: sim.NewRNG(seed + uint64(wkr)*0x9e3779b97f4a7c15),
+				gen: NewPaperHotspot(p.W.RecordCount),
+			}
+			for i := 0; i < share; i++ {
+				if err := w.step(); err != nil {
+					errs[wkr] = err
+					return
+				}
+			}
+		}(wkr, share)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// worker is one closed-loop client goroutine: private RNG and generator,
+// shared atomics on the runner.
+type worker struct {
+	p   *ParallelRunner
+	rng *sim.RNG
+	gen Generator
+}
+
+// step executes one operation drawn from the workload mix.
+func (w *worker) step() error {
+	p := w.p
+	op := p.W.NextOp(w.rng)
+	table := p.W.TableName()
+	var err error
+	switch op {
+	case OpRead:
+		_, err = p.Client.Get(table, w.key())
+		if errors.Is(err, hbase.ErrNotFound) {
+			err = nil // sparse loads in tests make misses benign
+		}
+	case OpUpdate:
+		err = p.Client.Put(table, w.key(), p.value())
+	case OpInsert:
+		k := p.W.Key(p.inserts.Add(1) - 1)
+		err = p.Client.Put(table, k, p.value())
+	case OpScan:
+		length := 1 + w.rng.Intn(p.W.MaxScanLength)
+		_, err = p.Client.Scan(table, w.key(), "", length)
+	case OpReadModifyWrite:
+		err = p.Client.ReadModifyWrite(table, w.key(), func([]byte) []byte { return p.value() })
+	}
+	if err != nil {
+		// Topology churn (a server mid-restart, a store retired by a
+		// split) is the workload's weather, not a worker-fatal fault:
+		// real YCSB threads ride out NotServingRegionException the same
+		// way. Count it and keep the worker alive.
+		if errors.Is(err, hbase.ErrServerStopped) || errors.Is(err, kv.ErrClosed) {
+			p.transient.Add(1)
+			return nil
+		}
+		p.errors.Add(1)
+		return err
+	}
+	p.completed[op].Add(1)
+	return nil
+}
+
+// key draws a key index from the distribution, clamped to the loaded
+// range grown by inserts.
+func (w *worker) key() string {
+	i := w.gen.Next(w.rng)
+	if n := w.p.inserts.Load(); i >= n {
+		i = n - 1
+	}
+	return w.p.W.Key(i)
+}
+
+// Completed returns per-op completion counts.
+func (p *ParallelRunner) Completed() map[OpType]int64 {
+	out := make(map[OpType]int64, numOpTypes)
+	for op := 0; op < numOpTypes; op++ {
+		if n := p.completed[op].Load(); n > 0 {
+			out[OpType(op)] = n
+		}
+	}
+	return out
+}
+
+// TotalCompleted returns the total successful operations.
+func (p *ParallelRunner) TotalCompleted() int64 {
+	var sum int64
+	for op := 0; op < numOpTypes; op++ {
+		sum += p.completed[op].Load()
+	}
+	return sum
+}
+
+// Errors returns the number of hard-failed operations.
+func (p *ParallelRunner) Errors() int64 { return p.errors.Load() }
+
+// Transient returns the number of operations dropped on topology churn
+// (server restarting, store retired by a split); they are neither
+// completed nor hard errors.
+func (p *ParallelRunner) Transient() int64 { return p.transient.Load() }
+
+// Inserts returns the current keyspace size (initial + inserted).
+func (p *ParallelRunner) Inserts() int64 { return p.inserts.Load() }

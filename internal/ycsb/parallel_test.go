@@ -1,0 +1,150 @@
+package ycsb
+
+import (
+	"testing"
+
+	"met/internal/hbase"
+	"met/internal/hdfs"
+)
+
+func parallelCluster(t *testing.T) (*hbase.Master, *hbase.Client) {
+	t.Helper()
+	m := hbase.NewMaster(hdfs.NewNamenode(2))
+	for _, name := range []string{"rs0", "rs1", "rs2"} {
+		if _, err := m.AddServer(name, hbase.DefaultServerConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, hbase.NewClient(m)
+}
+
+// TestParallelRunnerMatchesWorkloadMix fans Workload A across 8 workers
+// and checks the shared atomics add up: every operation completed, no
+// errors, per-op counts near the configured 50/50 mix.
+func TestParallelRunnerMatchesWorkloadMix(t *testing.T) {
+	m, c := parallelCluster(t)
+	w := PaperWorkloads()[0] // A: 50% read / 50% update
+	w.RecordCount = 2000
+	w.FieldLengthBytes = 32
+	p, err := NewParallelRunner(w, c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CreateTable(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Load(0); err != nil {
+		t.Fatal(err)
+	}
+	const ops = 4000
+	if err := p.Run(ops, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.TotalCompleted(); got != ops {
+		t.Fatalf("completed = %d, want %d", got, ops)
+	}
+	if p.Errors() != 0 {
+		t.Fatalf("errors = %d", p.Errors())
+	}
+	done := p.Completed()
+	if reads := done[OpRead]; reads < ops/4 || reads > 3*ops/4 {
+		t.Fatalf("read mix off: %d of %d", reads, ops)
+	}
+	if done[OpRead]+done[OpUpdate] != ops {
+		t.Fatalf("unexpected op types: %v", done)
+	}
+	// The cluster-side counters saw the same volume (reads may exceed
+	// client reads only via retries; here routes are stable).
+	var cluster int64
+	for _, rs := range m.Servers() {
+		req := rs.Requests()
+		cluster += req.Reads + req.Writes
+	}
+	if cluster < ops {
+		t.Fatalf("cluster counted %d ops, want >= %d", cluster, ops)
+	}
+}
+
+// TestParallelRunnerInsertsExtendKeyspace verifies the atomic insert
+// cursor: concurrent inserts mint unique keys and grow Inserts().
+func TestParallelRunnerInsertsExtendKeyspace(t *testing.T) {
+	m, c := parallelCluster(t)
+	w := PaperWorkloads()[3] // D: 5% read / 95% insert
+	w.RecordCount = 500
+	w.FieldLengthBytes = 16
+	p, err := NewParallelRunner(w, c, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CreateTable(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Load(0); err != nil {
+		t.Fatal(err)
+	}
+	const ops = 1200
+	if err := p.Run(ops, 3); err != nil {
+		t.Fatal(err)
+	}
+	inserted := p.Completed()[OpInsert]
+	if inserted == 0 {
+		t.Fatal("no inserts in a 95% insert workload")
+	}
+	if got := p.Inserts(); got != w.RecordCount+inserted {
+		t.Fatalf("keyspace = %d, want %d + %d", got, w.RecordCount, inserted)
+	}
+	// Every minted key actually landed: read back the full tail.
+	for i := w.RecordCount; i < p.Inserts(); i++ {
+		if _, err := c.Get(w.TableName(), w.Key(i)); err != nil {
+			t.Fatalf("inserted key %d missing: %v", i, err)
+		}
+	}
+}
+
+// TestParallelRunnerValidation rejects bad configs up front.
+func TestParallelRunnerValidation(t *testing.T) {
+	_, c := parallelCluster(t)
+	w := PaperWorkloads()[0]
+	if _, err := NewParallelRunner(w, c, 0); err == nil {
+		t.Fatal("zero concurrency accepted")
+	}
+	w.RecordCount = 0
+	if _, err := NewParallelRunner(w, c, 4); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+// TestParallelRunnerRidesOutStoppedServer pins transient-error
+// tolerance: operations routed to a stopped server are dropped and
+// counted, not fatal to the worker, and the rest of the cluster keeps
+// absorbing its share.
+func TestParallelRunnerRidesOutStoppedServer(t *testing.T) {
+	m, c := parallelCluster(t)
+	w := PaperWorkloads()[0] // A: 50% read / 50% update, no inserts
+	w.RecordCount = 1200
+	w.FieldLengthBytes = 16
+	p, err := NewParallelRunner(w, c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CreateTable(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Load(0); err != nil {
+		t.Fatal(err)
+	}
+	m.Servers()[0].Stop()
+	const ops = 2000
+	if err := p.Run(ops, 11); err != nil {
+		t.Fatalf("run aborted on transient errors: %v", err)
+	}
+	if p.Errors() != 0 {
+		t.Fatalf("hard errors = %d", p.Errors())
+	}
+	if p.Transient() == 0 {
+		t.Fatal("no transient drops despite a stopped server")
+	}
+	if got := p.TotalCompleted() + p.Transient(); got != ops {
+		t.Fatalf("completed %d + transient %d != %d", p.TotalCompleted(), p.Transient(), ops)
+	}
+}
