@@ -6,14 +6,24 @@
 // Usage:
 //
 //	metbench -workload A|B|C|D|E|F|tpcc [-servers 3] [-ops 20000] [-records 5000]
-//	         [-concurrency 8] [-met]
+//	         [-concurrency 8] [-met] [-durable DIR] [-json out.json]
 //
 // With -concurrency N > 1 the YCSB operations are fanned across N
 // goroutines the way real YCSB drives HBase with a client thread pool,
 // exercising the cluster's concurrent serving path.
+//
+// With -durable DIR every region store runs on the on-disk backend
+// (met/internal/durable): group-committed WAL, SSTables, crash
+// recovery. Without it, stores are in-memory as in the paper's
+// simulated experiments.
+//
+// With -json FILE a machine-readable result (ns/op, ops/sec, per-op
+// counts, per-server engine state) is written for trajectory tracking
+// in CI.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -21,10 +31,39 @@ import (
 	"time"
 
 	"met"
+	"met/internal/hbase"
 	"met/internal/sim"
 	"met/internal/tpcc"
 	"met/internal/ycsb"
 )
+
+// result is the machine-readable benchmark report (-json).
+type result struct {
+	Workload    string           `json:"workload"`
+	Ops         int              `json:"ops"`
+	Records     int64            `json:"records"`
+	Servers     int              `json:"servers"`
+	Concurrency int              `json:"concurrency"`
+	Durable     bool             `json:"durable"`
+	WallSeconds float64          `json:"wall_seconds"`
+	NsPerOp     float64          `json:"ns_per_op"`
+	OpsPerSec   float64          `json:"ops_per_sec"`
+	Completed   int64            `json:"completed"`
+	Errors      int64            `json:"errors"`
+	Transient   int64            `json:"transient,omitempty"`
+	PerOp       map[string]int64 `json:"per_op,omitempty"`
+	Cluster     []serverState    `json:"cluster"`
+}
+
+// serverState is one region server's post-run engine state.
+type serverState struct {
+	Name     string  `json:"name"`
+	Regions  int     `json:"regions"`
+	Reads    int64   `json:"reads"`
+	Writes   int64   `json:"writes"`
+	Scans    int64   `json:"scans"`
+	Locality float64 `json:"locality"`
+}
 
 func main() {
 	workload := flag.String("workload", "A", "YCSB workload letter (A-F) or 'tpcc'")
@@ -34,24 +73,36 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	concurrency := flag.Int("concurrency", 1, "parallel client goroutines (YCSB only)")
 	withMeT := flag.Bool("met", false, "attach the MeT controller during the run")
+	durableDir := flag.String("durable", "", "data directory: run region stores on the durable disk backend")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
-	cluster, err := met.NewCluster(*servers)
+	cfg := hbase.DefaultServerConfig()
+	cfg.DataDir = *durableDir
+	cluster, err := met.NewClusterConfig(*servers, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	res := &result{
+		Workload: *workload, Ops: *ops, Records: *records,
+		Servers: *servers, Concurrency: *concurrency, Durable: *durableDir != "",
 	}
 	start := time.Now()
 	switch *workload {
 	case "tpcc":
-		runTPCC(cluster, *ops, *seed)
+		if *concurrency > 1 {
+			fmt.Fprintln(os.Stderr, "metbench: -concurrency applies to YCSB only; tpcc runs single-threaded")
+			res.Concurrency = 1
+		}
+		runTPCC(cluster, *ops, *seed, res)
 	default:
 		if *concurrency > 1 {
 			if *withMeT {
 				fmt.Fprintln(os.Stderr, "metbench: -met is not supported with -concurrency > 1; running without the controller")
 			}
-			runYCSBParallel(cluster, *workload, *ops, *records, *seed, *concurrency)
+			runYCSBParallel(cluster, *workload, *ops, *records, *seed, *concurrency, res)
 		} else {
-			runYCSB(cluster, *workload, *ops, *records, *seed, *withMeT)
+			runYCSB(cluster, *workload, *ops, *records, *seed, *withMeT, res)
 		}
 	}
 	elapsed := time.Since(start)
@@ -62,6 +113,31 @@ func main() {
 		req := rs.Requests()
 		fmt.Printf("  %s: regions=%d reads=%d writes=%d scans=%d locality=%.2f [%s]\n",
 			rs.Name(), rs.NumRegions(), req.Reads, req.Writes, req.Scans, rs.Locality(), rs.Config())
+		res.Cluster = append(res.Cluster, serverState{
+			Name: rs.Name(), Regions: rs.NumRegions(),
+			Reads: req.Reads, Writes: req.Writes, Scans: req.Scans,
+			Locality: rs.Locality(),
+		})
+	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("results written to %s\n", *jsonOut)
+	}
+}
+
+// finish fills the timing-derived fields from the measured run phase
+// (loading is excluded).
+func (r *result) finish(elapsed time.Duration) {
+	r.WallSeconds = elapsed.Seconds()
+	if r.Completed > 0 {
+		r.NsPerOp = float64(elapsed.Nanoseconds()) / float64(r.Completed)
+		r.OpsPerSec = float64(r.Completed) / elapsed.Seconds()
 	}
 }
 
@@ -79,7 +155,7 @@ func workloadSpec(letter string, records int64) *ycsb.Workload {
 	return nil
 }
 
-func runYCSB(cluster *met.Cluster, letter string, ops int, records int64, seed uint64, withMeT bool) {
+func runYCSB(cluster *met.Cluster, letter string, ops int, records int64, seed uint64, withMeT bool, res *result) {
 	spec := workloadSpec(letter, records)
 	runner, err := ycsb.NewRunner(*spec, cluster.Client, sim.NewRNG(seed))
 	if err != nil {
@@ -109,6 +185,7 @@ func runYCSB(cluster *met.Cluster, letter string, ops int, records int64, seed u
 		batch = 1
 	}
 	now := 30 * sim.Second
+	start := time.Now()
 	for done := 0; done < ops; done += batch {
 		n := batch
 		if ops-done < n {
@@ -122,16 +199,22 @@ func runYCSB(cluster *met.Cluster, letter string, ops int, records int64, seed u
 			now += 30 * sim.Second
 		}
 	}
+	elapsed := time.Since(start)
 	fmt.Printf("completed: %d ops, %d errors\n", runner.TotalCompleted(), runner.Errors())
+	res.Completed = runner.TotalCompleted()
+	res.Errors = runner.Errors()
+	res.PerOp = make(map[string]int64)
 	for op, n := range runner.Completed() {
 		fmt.Printf("  %-7s %d\n", op, n)
+		res.PerOp[op.String()] = n
 	}
+	res.finish(elapsed)
 	if ctrl != nil {
 		fmt.Printf("MeT: %d decisions, %d actuations\n", ctrl.Decisions(), ctrl.Actuations())
 	}
 }
 
-func runYCSBParallel(cluster *met.Cluster, letter string, ops int, records int64, seed uint64, concurrency int) {
+func runYCSBParallel(cluster *met.Cluster, letter string, ops int, records int64, seed uint64, concurrency int, res *result) {
 	spec := workloadSpec(letter, records)
 	runner, err := ycsb.NewParallelRunner(*spec, cluster.Client, concurrency)
 	if err != nil {
@@ -155,12 +238,18 @@ func runYCSBParallel(cluster *met.Cluster, letter string, ops int, records int64
 	if n := runner.Transient(); n > 0 {
 		fmt.Printf("  (%d ops dropped on topology churn)\n", n)
 	}
+	res.Completed = runner.TotalCompleted()
+	res.Errors = runner.Errors()
+	res.Transient = runner.Transient()
+	res.PerOp = make(map[string]int64)
 	for op, n := range runner.Completed() {
 		fmt.Printf("  %-7s %d\n", op, n)
+		res.PerOp[op.String()] = n
 	}
+	res.finish(elapsed)
 }
 
-func runTPCC(cluster *met.Cluster, txs int, seed uint64) {
+func runTPCC(cluster *met.Cluster, txs int, seed uint64, res *result) {
 	cfg := tpcc.Small()
 	cfg.Warehouses = 3
 	cfg.Items = 300
@@ -175,13 +264,20 @@ func runTPCC(cluster *met.Cluster, txs int, seed uint64) {
 	fmt.Printf("loaded %d rows (%d warehouses)\n", rows, cfg.Warehouses)
 	driver := tpcc.NewDriver(tpcc.NewExecutor(cfg, cluster.Client, sim.NewRNG(seed)))
 	fmt.Printf("running %d transactions...\n", txs)
+	start := time.Now()
 	if err := driver.Run(txs); err != nil {
 		log.Fatal(err)
 	}
-	res := driver.Result()
+	elapsed := time.Since(start)
+	tr := driver.Result()
 	fmt.Printf("completed: %d txs (%.1f%% read-only), %d errors\n",
-		res.Total(), 100*res.ReadOnlyFraction(), res.Errors)
+		tr.Total(), 100*tr.ReadOnlyFraction(), tr.Errors)
+	res.Completed = int64(tr.Total())
+	res.Errors = int64(tr.Errors)
+	res.PerOp = make(map[string]int64)
 	for _, tx := range []tpcc.TxType{tpcc.TxNewOrder, tpcc.TxPayment, tpcc.TxOrderStatus, tpcc.TxDelivery, tpcc.TxStockLevel} {
-		fmt.Printf("  %-13s %d\n", tx, res.Completed[tx])
+		fmt.Printf("  %-13s %d\n", tx, tr.Completed[tx])
+		res.PerOp[tx.String()] = int64(tr.Completed[tx])
 	}
+	res.finish(elapsed)
 }

@@ -109,6 +109,10 @@ func (a *FunctionalActuator) Apply(target []placement.NodeState) (ApplyReport, e
 			continue
 		}
 		wantCfg := a.Profiles[ns.Type]
+		// Profiles carry only the paper's tuning knobs; the storage
+		// backend is a deployment property of the server, so a durable
+		// server stays durable across reprofiles.
+		wantCfg.DataDir = rs.Config().DataDir
 		if !rs.Config().Equal(wantCfg) {
 			// Drain: move hosted regions to their target hosts if those
 			// hosts are up, otherwise to any other server, so data

@@ -1,0 +1,500 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"met/internal/kv"
+)
+
+const (
+	walMagic        = "METW"
+	walVersion      = 1
+	walHeaderSize   = 5
+	frameHeaderSize = 8 // length (4, LE) + crc32c (4, LE)
+	walTombstone    = 1 << 0
+	// maxFrameBytes bounds a decoded frame length so a corrupt length
+	// field cannot drive a huge allocation.
+	maxFrameBytes = 1 << 30
+)
+
+// walSegment is the in-memory record of one sealed on-disk segment.
+type walSegment struct {
+	idx   uint64
+	path  string
+	maxTS uint64
+	count int
+}
+
+// WAL is the segmented write-ahead log. It implements kv.GroupWAL:
+// records are framed with CRC32C, segments rotate at a size threshold,
+// Truncate deletes whole segments whose entries a flush has made durable
+// elsewhere, and commit acknowledgement batches concurrent writers into
+// a single fsync (group commit; see the package documentation for the
+// leader/follower protocol).
+//
+// Locking: mu serializes appends, rotation, truncation and replay.
+// Commit waiters synchronize on the separate committer lock so that an
+// in-flight fsync never blocks appends — that overlap is what gives
+// group commit its batching. Lock order is mu before committer.mu is
+// never required: the sync leader samples (file, seq) under mu while NOT
+// holding committer.mu, so the two locks never nest in both orders.
+type WAL struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	active      *os.File
+	activeIdx   uint64
+	activePath  string
+	activeBytes int64
+	activeMaxTS uint64
+	activeCount int
+	sealed      []walSegment // oldest first
+	seq         uint64       // records buffered so far (monotonic)
+	syncs       int64        // commit-path sync rounds (group-commit batching metric)
+	closed      bool
+
+	committer committer
+}
+
+// committer implements the group-commit rendezvous: the first waiter
+// becomes the leader, fsyncs the active segment once, and advances
+// synced past every record buffered before the fsync; followers just
+// wait.
+type committer struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	synced  uint64 // highest record number covered by an fsync
+	leading bool
+	err     error  // last failed round's error
+	failed  uint64 // highest record number the failed round covered
+}
+
+// OpenWAL opens (or creates) the log in dir. Existing segments — from a
+// previous process, crashed or not — are all sealed; appends go to a
+// fresh segment, so recovery state is never appended to in place.
+func OpenWAL(dir string, opts Options) (*WAL, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: dir, opts: opts}
+	w.committer.cond = sync.NewCond(&w.committer.mu)
+
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths) // zero-padded indices sort numerically
+	maxIdx := uint64(0)
+	for _, p := range paths {
+		var idx uint64
+		if _, err := fmt.Sscanf(filepath.Base(p), "wal-%d.log", &idx); err != nil {
+			continue
+		}
+		seg := walSegment{idx: idx, path: p}
+		// Scan for metadata; torn tails are fine here (recovery proper
+		// re-reads the segment and stops at the same point).
+		_ = readSegment(p, func(e kv.Entry) {
+			seg.count++
+			if e.Timestamp > seg.maxTS {
+				seg.maxTS = e.Timestamp
+			}
+		})
+		w.sealed = append(w.sealed, seg)
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	if err := w.openSegmentLocked(maxIdx + 1); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// openSegmentLocked creates and becomes the active segment idx.
+func (w *WAL) openSegmentLocked(idx uint64) error {
+	path := filepath.Join(w.dir, fmt.Sprintf("wal-%016d.log", idx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := append([]byte(walMagic), walVersion)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	w.active = f
+	w.activeIdx = idx
+	w.activePath = path
+	w.activeBytes = walHeaderSize
+	w.activeMaxTS = 0
+	w.activeCount = 0
+	return syncDir(w.dir, w.opts.NoSync)
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens the
+// next one. Because the outgoing segment is fsynced, every record
+// buffered so far is durable; the committer is advanced so pending
+// commit waiters return without another fsync.
+func (w *WAL) rotateLocked() error {
+	if err := syncFile(w.active, w.opts.NoSync); err != nil {
+		return err
+	}
+	if err := w.active.Close(); err != nil {
+		return err
+	}
+	w.sealed = append(w.sealed, walSegment{
+		idx: w.activeIdx, path: w.activePath, maxTS: w.activeMaxTS, count: w.activeCount,
+	})
+	seq := w.seq
+	if err := w.openSegmentLocked(w.activeIdx + 1); err != nil {
+		return err
+	}
+	c := &w.committer
+	c.mu.Lock()
+	if seq > c.synced {
+		c.synced = seq
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// encodeFrame serializes one entry as a CRC32C-framed record.
+func encodeFrame(e kv.Entry) []byte {
+	payload := make([]byte, 0, 1+binary.MaxVarintLen64*3+len(e.Key)+len(e.Value))
+	var flags byte
+	if e.Tombstone {
+		flags |= walTombstone
+	}
+	payload = append(payload, flags)
+	payload = binary.AppendUvarint(payload, e.Timestamp)
+	payload = binary.AppendUvarint(payload, uint64(len(e.Key)))
+	payload = append(payload, e.Key...)
+	payload = binary.AppendUvarint(payload, uint64(len(e.Value)))
+	payload = append(payload, e.Value...)
+
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderSize:], payload)
+	return frame
+}
+
+// decodePayload parses a frame payload back into an entry.
+func decodePayload(payload []byte) (kv.Entry, error) {
+	if len(payload) < 1 {
+		return kv.Entry{}, corruptf("empty wal payload")
+	}
+	e := kv.Entry{Tombstone: payload[0]&walTombstone != 0}
+	buf := payload[1:]
+	ts, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return kv.Entry{}, corruptf("wal timestamp")
+	}
+	e.Timestamp = ts
+	buf = buf[n:]
+	klen, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < klen {
+		return kv.Entry{}, corruptf("wal key")
+	}
+	e.Key = string(buf[n : n+int(klen)])
+	buf = buf[n+int(klen):]
+	vlen, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) != vlen {
+		return kv.Entry{}, corruptf("wal value")
+	}
+	if vlen > 0 {
+		e.Value = append([]byte(nil), buf[n:n+int(vlen)]...)
+	}
+	return e, nil
+}
+
+// AppendBuffered implements kv.GroupWAL: the record is written to the
+// active segment (establishing its replay position) and a commit
+// function is returned that blocks until an fsync covers it.
+func (w *WAL) AppendBuffered(e kv.Entry) (func() error, error) {
+	frame := encodeFrame(e)
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if w.activeBytes >= w.opts.SegmentBytes && w.activeCount > 0 {
+		if err := w.rotateLocked(); err != nil {
+			w.mu.Unlock()
+			return nil, err
+		}
+	}
+	if _, err := w.active.Write(frame); err != nil {
+		w.mu.Unlock()
+		return nil, err
+	}
+	w.activeBytes += int64(len(frame))
+	w.activeCount++
+	if e.Timestamp > w.activeMaxTS {
+		w.activeMaxTS = e.Timestamp
+	}
+	w.seq++
+	seq := w.seq
+	w.mu.Unlock()
+	return func() error { return w.commitTo(seq) }, nil
+}
+
+// Append implements kv.WAL: append and wait for durability.
+func (w *WAL) Append(e kv.Entry) error {
+	commit, err := w.AppendBuffered(e)
+	if err != nil {
+		return err
+	}
+	return commit()
+}
+
+// commitTo blocks until record seq is fsync-covered. The first arriving
+// waiter leads: it fsyncs once and credits every record buffered before
+// the fsync, so all concurrent waiters are released together.
+func (w *WAL) commitTo(seq uint64) error {
+	c := &w.committer
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.synced >= seq {
+			return nil
+		}
+		if c.err != nil && c.failed >= seq {
+			return c.err
+		}
+		if c.leading {
+			c.cond.Wait()
+			continue
+		}
+		c.leading = true
+		c.mu.Unlock()
+		target, err := w.syncActive()
+		c.mu.Lock()
+		c.leading = false
+		if err != nil {
+			c.err = err
+			if target > c.failed {
+				c.failed = target
+			}
+		} else {
+			c.err = nil
+			if target > c.synced {
+				c.synced = target
+			}
+		}
+		c.cond.Broadcast()
+	}
+}
+
+// syncActive fsyncs the active segment, returning the highest record
+// number that fsync covers. Records in already-sealed segments were
+// fsynced at rotation, so covering "everything buffered into the current
+// active segment" covers everything up to the sampled sequence number.
+func (w *WAL) syncActive() (uint64, error) {
+	w.mu.Lock()
+	f := w.active
+	target := w.seq
+	closed := w.closed
+	w.mu.Unlock()
+	if closed || f == nil {
+		// Close fsyncs before closing, so everything buffered is durable.
+		return target, nil
+	}
+	err := syncFile(f, w.opts.NoSync)
+	w.mu.Lock()
+	w.syncs++
+	w.mu.Unlock()
+	if err != nil && errors.Is(err, os.ErrClosed) {
+		// A rotation sealed this segment after we sampled it; sealing
+		// fsyncs first, so the records are durable.
+		err = nil
+	}
+	return target, err
+}
+
+// Truncate implements kv.WAL: entries with Timestamp <= upTo are durable
+// elsewhere (a flushed SSTable), so every segment whose newest record is
+// <= upTo is deleted whole — no rewriting. If the active segment itself
+// only holds flushed entries it is sealed first, so the log shrinks to
+// one empty active segment after each flush.
+func (w *WAL) Truncate(upTo uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	if w.activeCount > 0 && w.activeMaxTS <= upTo {
+		if err := w.rotateLocked(); err != nil {
+			return // keep the data; truncation is only an optimization
+		}
+	}
+	kept := w.sealed[:0]
+	removed := false
+	for _, seg := range w.sealed {
+		if seg.maxTS <= upTo {
+			_ = os.Remove(seg.path)
+			removed = true
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	w.sealed = kept
+	if removed {
+		_ = syncDir(w.dir, w.opts.NoSync)
+	}
+}
+
+// ReplayReport describes what recovery found.
+type ReplayReport struct {
+	// Replayed is the number of records returned.
+	Replayed int
+	// Torn is true when replay stopped before the end of the log —
+	// a torn tail after a crash, or mid-log corruption.
+	Torn bool
+	// TornSegment is the path of the segment replay stopped in.
+	TornSegment string
+}
+
+// Replay reads every intact record, oldest segment first, in append
+// order — the recovery stream. It stops at the first bad frame (short
+// header, short payload, checksum mismatch, or undecodable payload):
+// everything before it is returned, everything after is dropped, exactly
+// the contract a physical log can honor after a crash.
+func (w *WAL) Replay() ([]kv.Entry, ReplayReport, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var entries []kv.Entry
+	var report ReplayReport
+	segs := append([]walSegment(nil), w.sealed...)
+	if w.activeCount > 0 {
+		segs = append(segs, walSegment{idx: w.activeIdx, path: w.activePath})
+	}
+	for _, seg := range segs {
+		err := readSegment(seg.path, func(e kv.Entry) { entries = append(entries, e) })
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				report.Torn = true
+				report.TornSegment = seg.path
+				break
+			}
+			return nil, report, err
+		}
+	}
+	report.Replayed = len(entries)
+	return entries, report, nil
+}
+
+// ReplayEntries is the recovery entry point kv.OpenStore prefers: a
+// torn tail or mid-log corruption is an expected crash artifact and
+// only truncates the result, but a real I/O error fails recovery
+// loudly — silently returning a partial log would break the
+// acknowledged-writes-survive guarantee.
+func (w *WAL) ReplayEntries() ([]kv.Entry, error) {
+	entries, _, err := w.Replay()
+	return entries, err
+}
+
+// Entries implements kv.WAL for recovery; torn tails are dropped
+// silently (Replay reports them).
+func (w *WAL) Entries() []kv.Entry {
+	entries, _, err := w.Replay()
+	if err != nil {
+		return nil
+	}
+	return entries
+}
+
+// readSegment streams a segment's intact records into fn. A torn or
+// corrupt frame yields ErrCorrupt; records before it are still
+// delivered.
+func readSegment(path string, fn func(kv.Entry)) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(buf) < walHeaderSize || string(buf[:4]) != walMagic {
+		return corruptf("wal segment header %s", filepath.Base(path))
+	}
+	if buf[4] != walVersion {
+		return fmt.Errorf("durable: unsupported wal version %d in %s", buf[4], filepath.Base(path))
+	}
+	buf = buf[walHeaderSize:]
+	for len(buf) > 0 {
+		if len(buf) < frameHeaderSize {
+			return corruptf("torn frame header in %s", filepath.Base(path))
+		}
+		length := binary.LittleEndian.Uint32(buf[0:4])
+		sum := binary.LittleEndian.Uint32(buf[4:8])
+		if length > maxFrameBytes || uint64(len(buf)-frameHeaderSize) < uint64(length) {
+			return corruptf("torn frame payload in %s", filepath.Base(path))
+		}
+		payload := buf[frameHeaderSize : frameHeaderSize+int(length)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return corruptf("frame checksum mismatch in %s", filepath.Base(path))
+		}
+		e, err := decodePayload(payload)
+		if err != nil {
+			return err
+		}
+		fn(e)
+		buf = buf[frameHeaderSize+int(length):]
+	}
+	return nil
+}
+
+// SyncRounds returns how many commit-path sync rounds have run; with N
+// concurrent writers it stays well below N appends (group commit).
+func (w *WAL) SyncRounds() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncs
+}
+
+// SegmentCount returns the number of on-disk segments (sealed + active).
+func (w *WAL) SegmentCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.sealed) + 1
+}
+
+// Close fsyncs and closes the active segment. Pending commit waiters are
+// released successfully — their records are durable after the final
+// fsync.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	seq := w.seq
+	err := syncFile(w.active, w.opts.NoSync)
+	if cerr := w.active.Close(); err == nil {
+		err = cerr
+	}
+	w.mu.Unlock()
+
+	c := &w.committer
+	c.mu.Lock()
+	if err == nil && seq > c.synced {
+		c.synced = seq
+	} else if err != nil && seq > c.failed {
+		c.err = err
+		c.failed = seq
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return err
+}
+
+var _ kv.GroupWAL = (*WAL)(nil)

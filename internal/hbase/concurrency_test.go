@@ -428,22 +428,30 @@ func TestRestartSurvivesRetiredStore(t *testing.T) {
 	}
 }
 
-// TestMirrorIgnoresRetiredStoreStats pins the store-identity guard in
-// the flush bookkeeping: stats read from a store the region no longer
-// tracks must not mint a phantom HDFS file.
-func TestMirrorIgnoresRetiredStoreStats(t *testing.T) {
+// TestMirrorIgnoresRetiredStore pins the store-identity guard in the
+// mirror bookkeeping: a file stack read from a store the region no
+// longer tracks must not mint phantom HDFS files.
+func TestMirrorIgnoresRetiredStore(t *testing.T) {
 	rs := newTestServer(t, "rs0")
 	r := openRegion(t, rs, "t1", "", "")
 	old := r.Store()
+	if err := old.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	old.Flush()
 	// Pretend a restart swapped in a fresh store.
 	fresh := kv.NewStore(kv.Config{MemstoreFlushBytes: 1 << 20})
-	r.resetMirror(fresh)
-	staleStats := kv.Stats{Flushes: 5, FlushedBytes: 5 << 20}
-	if flushed, _ := r.noteFlushes(old, staleStats); flushed {
-		t.Fatal("stale store stats accepted: phantom mirror")
+	r.resetMirror(fresh, false)
+	if _, _, ok := r.mirrorActions(old, false); ok {
+		t.Fatal("retired store accepted: phantom mirror")
 	}
-	// Stats from the tracked store still work.
-	if flushed, delta := r.noteFlushes(fresh, kv.Stats{Flushes: 1, FlushedBytes: 100}); !flushed || delta != 100 {
-		t.Fatalf("tracked store stats rejected: %v, %d", flushed, delta)
+	// The tracked store still reconciles.
+	if err := fresh.Put("k2", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	fresh.Flush()
+	adds, _, ok := r.mirrorActions(fresh, false)
+	if !ok || len(adds) != 1 {
+		t.Fatalf("tracked store rejected: ok=%v adds=%v", ok, adds)
 	}
 }

@@ -53,6 +53,14 @@ type ServerConfig struct {
 	BlockBytes int
 	// Handlers is the RPC handler count (default 10).
 	Handlers int
+	// DataDir, when non-empty, switches every region store hosted by
+	// this server to the durable disk backend (met/internal/durable):
+	// group-committed WAL plus SSTables under DataDir/regions/<region>.
+	// Region directories are keyed by region name, not server, so
+	// region moves keep their data and a restart recovers from disk.
+	// Empty (the default) keeps stores in memory, as the paper's
+	// simulated experiments do.
+	DataDir string
 }
 
 // DefaultServerConfig mirrors an out-of-the-box tuned HBase node per the

@@ -242,7 +242,10 @@ func (m *Master) CreateTable(name string, splitKeys []string) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r := NewRegion(name, b.start, b.end, rs.storeConfig(rs.NumRegions()+1))
+		r, err := NewRegion(name, b.start, b.end, rs.storeConfigFor(rn, rs.NumRegions()+1))
+		if err != nil {
+			return nil, err
+		}
 		rs.OpenRegion(r)
 		t.addRegion(r)
 		m.mu.Lock()

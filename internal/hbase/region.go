@@ -2,6 +2,7 @@ package hbase
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -18,8 +19,7 @@ import (
 // path never locks; the backing store is an atomic pointer because a
 // server restart swaps it (readers racing a swap see either the old
 // store — whose Close makes it return kv.ErrClosed — or the new one,
-// never a torn pointer); mu only guards the HDFS file list and the file
-// name sequence.
+// never a torn pointer); mu guards the HDFS mirror bookkeeping.
 type Region struct {
 	mu sync.Mutex
 
@@ -29,40 +29,68 @@ type Region struct {
 	endKey   string // empty = unbounded
 
 	store    atomic.Pointer[kv.Store]
-	files    []string // HDFS file names backing this region
 	requests metrics.AtomicCounts
 	fileSeq  int
 
-	// flush-mirror bookkeeping: the engine flush counters already
-	// reflected in HDFS. Kept per region (not in a server-wide map) so
-	// concurrent writers to different regions never share a lock.
-	// mirrorStore pins which store the counters belong to: a writer
-	// that read stats from a store just retired by a restart must not
-	// apply them to the fresh store's zeroed bookkeeping (it would
-	// mirror a phantom file and desynchronize future mirrors).
-	mirrorStore     *kv.Store
-	mirroredFlushes int64
-	mirroredBytes   int64
+	// HDFS mirror bookkeeping: which engine store files are reflected
+	// in the namenode. The mirror maps engine file IDs to HDFS file
+	// records and is reconciled against the store's real file stack
+	// (kv.Store.FileInfos) at every sync point, so the namenode's view
+	// is the engine's view — a flush racing a major compaction can no
+	// longer double-count bytes, because adds and removes are computed
+	// from one atomic snapshot of the stack.
+	//
+	// mirrorStore pins which store the IDs belong to: stats read from a
+	// store just retired by a restart must not be applied to the fresh
+	// store's bookkeeping. legacy holds HDFS files whose engine files no
+	// longer exist in the current store (an in-memory reopen copies data
+	// into a new store's memstore, so the bytes are real but no longer
+	// file-backed); they keep degrading locality until a major
+	// compaction purges them, exactly like post-move HFiles in HBase.
+	mirrorStore *kv.Store
+	mirror      map[uint64]mirrorFile
+	legacy      map[string]int64
+}
+
+// mirrorFile is one engine file's HDFS reflection.
+type mirrorFile struct {
+	name  string
+	bytes int64
+}
+
+// mirrorAdd is a pending namenode write computed by mirrorActions.
+type mirrorAdd struct {
+	name  string
+	bytes int64
 }
 
 // NewRegion creates a region over a fresh store with the given engine
-// config (derived from the hosting server's ServerConfig).
-func NewRegion(table, startKey, endKey string, storeCfg kv.Config) *Region {
+// config (derived from the hosting server's ServerConfig). With a
+// durable config (OpenBackend set) the store recovers whatever its
+// directory already holds.
+func NewRegion(table, startKey, endKey string, storeCfg kv.Config) (*Region, error) {
 	return newRegionNamed(fmt.Sprintf("%s,%s", table, startKey), table, startKey, endKey, storeCfg)
 }
 
 // newRegionNamed creates a region with an explicit name; splits use it to
 // mint daughter names distinct from the parent's (real HBase encodes a
 // region id for the same reason).
-func newRegionNamed(name, table, startKey, endKey string, storeCfg kv.Config) *Region {
+func newRegionNamed(name, table, startKey, endKey string, storeCfg kv.Config) (*Region, error) {
 	r := &Region{
 		name:     name,
 		table:    table,
 		startKey: startKey,
 		endKey:   endKey,
+		mirror:   make(map[uint64]mirrorFile),
+		legacy:   make(map[string]int64),
 	}
-	r.store.Store(kv.NewStore(storeCfg))
-	return r
+	s, err := kv.OpenStore(storeCfg)
+	if err != nil {
+		return nil, fmt.Errorf("hbase: open region %s: %w", name, err)
+	}
+	r.store.Store(s)
+	r.mirrorStore = s
+	return r, nil
 }
 
 // Name returns the region identifier ("table,startKey").
@@ -104,98 +132,135 @@ func (r *Region) DataBytes() int64 { return int64(r.Store().DataBytes()) }
 func (r *Region) Files() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]string(nil), r.files...)
-}
-
-// nextFileName mints a unique HDFS name for a flush or compaction output.
-func (r *Region) nextFileName() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.fileSeq++
-	return fmt.Sprintf("%s/hfile-%d", r.name, r.fileSeq)
-}
-
-// swapFiles replaces exactly the prev snapshot of the HDFS file list
-// with repl, preserving files mirrored concurrently since the snapshot
-// was taken — a flush racing a major compaction must not be orphaned
-// in the namenode with no region referencing it.
-func (r *Region) swapFiles(prev, repl []string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	inPrev := make(map[string]bool, len(prev))
-	for _, f := range prev {
-		inPrev[f] = true
+	out := make([]string, 0, len(r.mirror)+len(r.legacy))
+	for _, mf := range r.mirror {
+		out = append(out, mf.name)
 	}
-	files := append([]string(nil), repl...)
-	for _, f := range r.files {
-		if !inPrev[f] {
-			files = append(files, f)
+	for name := range r.legacy {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mirrorActions reconciles the HDFS mirror with store's current file
+// stack, atomically deciding which namenode files to create and which to
+// delete. Engine files not yet mirrored become adds; mirrored IDs the
+// engine no longer has (compacted away) become removes. With purgeLegacy
+// (major compaction — the reconciliation point) the legacy files are
+// removed too. ok=false means store is not the store this bookkeeping
+// tracks (it was retired by a concurrent restart) and nothing changed.
+// At most one concurrent caller obtains each add/remove, so namenode
+// operations are never duplicated.
+func (r *Region) mirrorActions(store *kv.Store, purgeLegacy bool) (adds []mirrorAdd, removes []string, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if store != r.mirrorStore {
+		return nil, nil, false
+	}
+	infos := store.FileInfos()
+	live := make(map[uint64]bool, len(infos))
+	for _, fi := range infos {
+		live[fi.ID] = true
+		if _, mirrored := r.mirror[fi.ID]; mirrored {
+			continue
+		}
+		r.fileSeq++
+		mf := mirrorFile{name: fmt.Sprintf("%s/hfile-%d", r.name, r.fileSeq), bytes: fi.Bytes}
+		if mf.bytes <= 0 {
+			mf.bytes = 1
+		}
+		r.mirror[fi.ID] = mf
+		adds = append(adds, mirrorAdd{name: mf.name, bytes: mf.bytes})
+	}
+	for id, mf := range r.mirror {
+		if !live[id] {
+			delete(r.mirror, id)
+			removes = append(removes, mf.name)
 		}
 	}
-	r.files = files
-}
-
-func (r *Region) addFile(name string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.files = append(r.files, name)
-}
-
-// noteFlushes reports whether st (read from store) shows engine flushes
-// not yet mirrored into HDFS and, if so, advances the bookkeeping and
-// returns the byte delta to mirror. At most one caller wins per flush;
-// stats read from a store the bookkeeping no longer tracks (swapped out
-// by a restart) are discarded.
-func (r *Region) noteFlushes(store *kv.Store, st kv.Stats) (flushed bool, deltaBytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if store != r.mirrorStore || st.Flushes <= r.mirroredFlushes {
-		return false, 0
+	if purgeLegacy {
+		for name := range r.legacy {
+			removes = append(removes, name)
+		}
+		r.legacy = make(map[string]int64)
 	}
-	delta := st.FlushedBytes - r.mirroredBytes
-	r.mirroredFlushes = st.Flushes
-	r.mirroredBytes = st.FlushedBytes
-	return true, delta
+	return adds, removes, true
 }
 
-// resetMirror aligns the flush bookkeeping with the given store's
-// current counters; called when a server opens the region or reopens
-// its store.
-func (r *Region) resetMirror(store *kv.Store) {
-	st := store.Stats()
+// resetMirror re-pins the bookkeeping to store. When the engine file IDs
+// survived the store swap (durable reopen: the same directory was
+// reloaded, same IDs) the mirror carries over; otherwise (in-memory
+// reopen: data was copied into a fresh memstore) the existing HDFS files
+// become legacy — still in the namenode, still counted for locality,
+// purged at the next major compaction.
+func (r *Region) resetMirror(store *kv.Store, idsPreserved bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if store == r.mirrorStore {
+		return
+	}
+	if !idsPreserved {
+		for _, mf := range r.mirror {
+			r.legacy[mf.name] = mf.bytes
+		}
+		r.mirror = make(map[uint64]mirrorFile)
+	}
 	r.mirrorStore = store
-	r.mirroredFlushes = st.Flushes
-	r.mirroredBytes = st.FlushedBytes
 }
 
 // reopen replaces the backing store (used on server restart with a new
-// configuration): live entries are copied into a store built with the new
-// engine config. Real HBase re-reads HFiles from HDFS; the effect — a
-// cold cache and the same data — is identical. The old store is sealed
-// before the copy, so an in-flight write either completed before the
-// seal (and is captured by the copy) or fails with kv.ErrClosed without
-// being acknowledged — no acknowledged write is ever lost. In-flight
-// readers that grabbed the old store before the swap keep reading it
-// until it is closed, the same window real HBase clients see during a
-// restart.
+// configuration). With a durable config the old store is closed — its
+// WAL and SSTables are released — and the new store recovers from the
+// same directory, exactly the crash-recovery path but voluntary: a cold
+// cache and the same data. Without durable backing, live entries are
+// scan-copied into a store built with the new engine config. Either way
+// the old store is sealed first, so an in-flight write either completed
+// before the seal (durable: therefore fsynced or WAL-buffered and
+// recovered; memory: captured by the copy) or fails with kv.ErrClosed
+// without being acknowledged — no acknowledged write is ever lost.
 func (r *Region) reopen(storeCfg kv.Config) error {
 	old := r.Store()
 	old.Seal()
+	oldDurable := old.Config().OpenBackend != nil
+	if storeCfg.OpenBackend != nil && oldDurable {
+		// Disk-to-disk: recovery from the shared directory. The old
+		// store must release its WAL and file handles before the new
+		// one opens them.
+		old.Close()
+		ns, err := kv.OpenStore(storeCfg)
+		if err != nil {
+			// The directory is intact (Close is not destructive), so try
+			// to restore service on the old configuration rather than
+			// leaving the region wedged on a closed store while the
+			// server reports healthy.
+			if prev, perr := kv.OpenStore(old.Config()); perr == nil {
+				r.store.Store(prev)
+				r.resetMirror(prev, true)
+			}
+			return fmt.Errorf("hbase: reopen %s: %w", r.name, err)
+		}
+		r.store.Store(ns)
+		r.resetMirror(ns, true)
+		return nil
+	}
 	entries, err := old.Scan(r.startKey, r.endKey, -1)
 	if err != nil {
 		old.Unseal()
 		return fmt.Errorf("hbase: reopen %s: %w", r.name, err)
 	}
-	ns := kv.NewStore(storeCfg)
-	for _, e := range entries {
-		if err := ns.Put(e.Key, e.Value); err != nil {
-			old.Unseal()
-			return fmt.Errorf("hbase: reopen %s: %w", r.name, err)
-		}
+	ns, err := kv.OpenStore(storeCfg)
+	if err != nil {
+		old.Unseal()
+		return fmt.Errorf("hbase: reopen %s: %w", r.name, err)
+	}
+	if err := ns.ImportEntries(entries); err != nil {
+		ns.Close()
+		old.Unseal()
+		return fmt.Errorf("hbase: reopen %s: %w", r.name, err)
 	}
 	r.store.Store(ns)
+	r.resetMirror(ns, false)
 	old.Close()
 	return nil
 }

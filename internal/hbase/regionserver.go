@@ -3,9 +3,12 @@ package hbase
 import (
 	"errors"
 	"fmt"
+	"net/url"
+	"path/filepath"
 	"sort"
 	"sync"
 
+	"met/internal/durable"
 	"met/internal/hdfs"
 	"met/internal/kv"
 	"met/internal/metrics"
@@ -93,21 +96,38 @@ func (s *RegionServer) Restarts() int {
 	return s.restarts
 }
 
-// storeConfig derives the kv engine config for one region hosted here.
-// The server's memstore budget is split across its regions (HBase bounds
-// the global memstore similarly); the block cache is shared.
-func (s *RegionServer) storeConfig(numRegions int) kv.Config {
+// regionDataDir maps a region name to its on-disk directory under the
+// cluster data root. The directory is keyed by region name only — not by
+// server — so a region keeps its files when it moves between servers
+// (the single-process deployment shares the data root, as HDFS would).
+// Region names may contain arbitrary key bytes; path-escaping keeps the
+// mapping injective and filesystem-safe.
+func regionDataDir(dataDir, regionName string) string {
+	return filepath.Join(dataDir, "regions", url.PathEscape(regionName))
+}
+
+// storeConfigFor derives the kv engine config for one region hosted
+// here. The server's memstore budget is split across its regions (HBase
+// bounds the global memstore similarly); the block cache is shared. When
+// the server has a data directory, the config carries the durable
+// backend factory for the region's own directory; otherwise the store
+// is in-memory with a simulation WAL.
+func (s *RegionServer) storeConfigFor(regionName string, numRegions int) kv.Config {
 	if numRegions < 1 {
 		numRegions = 1
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return kv.Config{
+	cfg := kv.Config{
 		MemstoreFlushBytes: int(s.cfg.MemstoreBytes()) / numRegions,
 		BlockBytes:         s.cfg.BlockBytes,
 		Cache:              s.cache,
 		Seed:               uint64(len(s.name)) + uint64(numRegions),
 	}
+	if s.cfg.DataDir != "" {
+		cfg.OpenBackend = durable.Opener(regionDataDir(s.cfg.DataDir, regionName), durable.Options{})
+	}
+	return cfg
 }
 
 // rebuildIndexLocked recomputes the per-table sorted routing index from
@@ -128,7 +148,9 @@ func (s *RegionServer) rebuildIndexLocked() {
 // OpenRegion starts hosting a region. The region's store keeps its data;
 // only bookkeeping changes hands.
 func (s *RegionServer) OpenRegion(r *Region) {
-	r.resetMirror(r.Store())
+	// The store (and its engine file IDs) travels with the region, so
+	// existing mirror bookkeeping stays valid.
+	r.resetMirror(r.Store(), true)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.regions[r.Name()] = r
@@ -208,7 +230,7 @@ func (s *RegionServer) Put(table, key string, value []byte) error {
 	if err := r.Store().Put(key, value); err != nil {
 		return err
 	}
-	s.mirrorFlushes(r)
+	s.mirrorSync(r)
 	return nil
 }
 
@@ -223,7 +245,7 @@ func (s *RegionServer) Delete(table, key string) error {
 	if err := r.Store().Delete(key); err != nil {
 		return err
 	}
-	s.mirrorFlushes(r)
+	s.mirrorSync(r)
 	return nil
 }
 
@@ -243,25 +265,23 @@ func (s *RegionServer) Scan(table, start, end string, limit int) ([]kv.Entry, er
 	return r.Store().Scan(start, scanEnd, limit)
 }
 
-// mirrorFlushes records newly flushed engine bytes as HDFS files written
-// locally to this server, so the namenode's locality index tracks where
-// each region's data physically lives. Engine-internal minor compactions
-// are not mirrored file-by-file; locality fidelity is at flush/compact
-// granularity, which is what the paper's index measures. The bookkeeping
-// lives in the region (noteFlushes), so concurrent writers to different
-// regions never contend on a server-wide lock here.
-func (s *RegionServer) mirrorFlushes(r *Region) {
-	store := r.Store()
-	flushed, size := r.noteFlushes(store, store.Stats())
-	if !flushed {
+// mirrorSync reconciles the region's HDFS mirror with its engine file
+// stack: files the engine flushed since the last sync are written to the
+// namenode as local files (sized from the real store files — for a
+// durable backend, the actual on-disk SSTable sizes), files the engine
+// compacted away are deleted. The diff is computed atomically in the
+// region (mirrorActions), so concurrent writers to different regions
+// never contend on a server-wide lock and no file is mirrored twice.
+func (s *RegionServer) mirrorSync(r *Region) {
+	adds, removes, ok := r.mirrorActions(r.Store(), false)
+	if !ok {
 		return
 	}
-	file := r.nextFileName()
-	if size <= 0 {
-		size = 1
+	for _, a := range adds {
+		_ = s.namenode.WriteFile(a.name, a.bytes, s.name)
 	}
-	if err := s.namenode.WriteFile(file, size, s.name); err == nil {
-		r.addFile(file)
+	for _, f := range removes {
+		_ = s.namenode.DeleteFile(f)
 	}
 }
 
@@ -276,29 +296,32 @@ func (s *RegionServer) MajorCompact(regionName string) (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("hbase: major compact: region %q not hosted on %s", regionName, s.name)
 	}
-	// Snapshot the file list before rewriting: a flush mirrored by a
-	// concurrent writer after this point is preserved by swapFiles, so
-	// no namenode file is ever orphaned with no region referencing it.
-	// The preserved file's bytes may also be inside the compacted
-	// output (if its flush beat Compact below), briefly double-counting
-	// them in the namenode; the next major compaction folds the file
-	// into its prev snapshot and reclaims it, so the drift is bounded.
-	prev := r.Files()
-	r.Store().Compact(true)
-	for _, f := range prev {
-		_ = s.namenode.DeleteFile(f)
+	store := r.Store()
+	var inBytes int64
+	for _, fi := range store.FileInfos() {
+		inBytes += fi.Bytes
 	}
-	size := r.DataBytes()
-	if size <= 0 {
-		r.swapFiles(prev, nil)
-		return 0, nil
+	if err := store.Compact(true); err != nil {
+		return 0, fmt.Errorf("hbase: major compact %s: %w", regionName, err)
 	}
-	file := r.nextFileName()
-	if err := s.namenode.WriteFile(file, size, s.name); err != nil {
-		return 0, err
+	// Reconcile the mirror against the post-compaction stack in one
+	// atomic diff: the compacted output is written locally (restoring
+	// locality), retired inputs — including a flush that raced the
+	// compaction and was folded into it — are deleted, and any legacy
+	// files from pre-restart stores are purged. Sizes always come from
+	// the engine's real file stack, so nothing is double-counted.
+	adds, removes, ok := r.mirrorActions(store, true)
+	if ok {
+		for _, a := range adds {
+			if err := s.namenode.WriteFile(a.name, a.bytes, s.name); err != nil {
+				return 0, err
+			}
+		}
+		for _, f := range removes {
+			_ = s.namenode.DeleteFile(f)
+		}
 	}
-	r.swapFiles(prev, []string{file})
-	return size, nil
+	return inBytes, nil
 }
 
 // Locality returns this server's locality index: the fraction of hosted
@@ -361,7 +384,7 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 		if !hosted {
 			continue
 		}
-		if err := r.reopen(s.storeConfig(n)); err != nil {
+		if err := r.reopen(s.storeConfigFor(r.Name(), n)); err != nil {
 			// A split or close that raced us retired the store; if the
 			// region is truly gone that is not our failure. Either way
 			// the server must come back up — a wedged-stopped server
@@ -374,7 +397,6 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 			}
 			continue
 		}
-		r.resetMirror(r.Store())
 	}
 	s.mu.Lock()
 	s.restarts++

@@ -22,7 +22,10 @@ func newTestServer(t *testing.T, name string) *RegionServer {
 // openRegion creates and opens a region on rs for the given range.
 func openRegion(t *testing.T, rs *RegionServer, table, start, end string) *Region {
 	t.Helper()
-	r := NewRegion(table, start, end, kv.Config{MemstoreFlushBytes: 1 << 20})
+	r, err := NewRegion(table, start, end, kv.Config{MemstoreFlushBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rs.OpenRegion(r)
 	return r
 }
@@ -182,25 +185,81 @@ func TestLookupAfterSplitAndMove(t *testing.T) {
 	}
 }
 
-// TestSwapFilesPreservesConcurrentMirrors deterministically pins the
-// file-list merge MajorCompact depends on: a file mirrored between the
-// compaction's snapshot and its swap survives in the region's list.
-func TestSwapFilesPreservesConcurrentMirrors(t *testing.T) {
+// TestMirrorReconcilesAtCompaction deterministically pins the fix for
+// the old flush-vs-MajorCompact byte double-count: the mirror is diffed
+// against the engine's real file stack at swap time, so a flush that
+// raced the compaction (its file folded into the compacted output) is
+// neither orphaned in the namenode nor counted twice.
+func TestMirrorReconcilesAtCompaction(t *testing.T) {
 	rs := newTestServer(t, "rs0")
 	r := openRegion(t, rs, "t1", "", "")
-	r.addFile("old-1")
-	r.addFile("old-2")
-	prev := r.Files()
-	r.addFile("raced-mirror") // lands between snapshot and swap
-	r.swapFiles(prev, []string{"compacted"})
-	got := r.Files()
-	want := map[string]bool{"compacted": true, "raced-mirror": true}
-	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
-		t.Fatalf("files after swap = %v, want compacted + raced-mirror", got)
+	s := r.Store()
+	put := func(k string) {
+		t.Helper()
+		if err := s.Put(k, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
 	}
-	// And with no concurrent mirror, the swap is a plain replacement.
-	r.swapFiles(r.Files(), nil)
-	if len(r.Files()) != 0 {
-		t.Fatalf("files after clean swap = %v", r.Files())
+	mirrorTotal := func() int64 {
+		t.Helper()
+		var total int64
+		for _, f := range r.Files() {
+			sz, err := rs.namenode.FileSize(f)
+			if err != nil {
+				t.Fatalf("region file %s missing from namenode: %v", f, err)
+			}
+			total += sz
+		}
+		return total
+	}
+	engineTotal := func() int64 {
+		var total int64
+		for _, fi := range s.FileInfos() {
+			total += fi.Bytes
+		}
+		return total
+	}
+
+	// Two flushed-and-mirrored files.
+	put("a")
+	s.Flush()
+	rs.mirrorSync(r)
+	put("b")
+	s.Flush()
+	rs.mirrorSync(r)
+	if len(r.Files()) != 2 || mirrorTotal() != engineTotal() {
+		t.Fatalf("baseline mirror broken: files=%v total=%d engine=%d", r.Files(), mirrorTotal(), engineTotal())
+	}
+	// A third flush lands but its mirror "races" the compaction: the
+	// compaction runs before mirrorSync sees the new file.
+	put("c")
+	s.Flush()
+	if err := s.Compact(true); err != nil {
+		t.Fatal(err)
+	}
+	adds, removes, ok := r.mirrorActions(s, true)
+	if !ok {
+		t.Fatal("mirrorActions rejected the tracked store")
+	}
+	for _, a := range adds {
+		if err := rs.namenode.WriteFile(a.name, a.bytes, rs.name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range removes {
+		_ = rs.namenode.DeleteFile(f)
+	}
+	// Exactly one file — the compacted output — sized from the engine;
+	// no double count, no orphan.
+	if len(r.Files()) != 1 {
+		t.Fatalf("files after compaction = %v, want exactly the compacted output", r.Files())
+	}
+	if mirrorTotal() != engineTotal() {
+		t.Fatalf("mirror bytes %d != engine bytes %d (double count)", mirrorTotal(), engineTotal())
+	}
+	for _, f := range rs.namenode.Files() {
+		if f != r.Files()[0] {
+			t.Fatalf("namenode holds unreferenced file %s (orphan)", f)
+		}
 	}
 }

@@ -2,6 +2,8 @@ package hbase
 
 import (
 	"fmt"
+	"os"
+	"sort"
 )
 
 // DefaultSplitThresholdBytes is HBase's default automatic-partitioning
@@ -64,24 +66,46 @@ func (m *Master) SplitRegion(regionName string) error {
 		return fmt.Errorf("hbase: split %s: degenerate split key", regionName)
 	}
 
-	cfg := rs.storeConfig(rs.NumRegions() + 2)
 	m.mu.Lock()
 	m.splitSeq++
 	gen := m.splitSeq
 	m.mu.Unlock()
-	lo := newRegionNamed(fmt.Sprintf("%s,%s.%d", parent.Table(), parent.StartKey(), gen),
-		parent.Table(), parent.StartKey(), mid, cfg)
-	hi := newRegionNamed(fmt.Sprintf("%s,%s.%d", parent.Table(), mid, gen),
-		parent.Table(), mid, parent.EndKey(), cfg)
-	for _, e := range entries {
-		dst := lo
-		if e.Key >= mid {
-			dst = hi
+	loName := fmt.Sprintf("%s,%s.%d", parent.Table(), parent.StartKey(), gen)
+	hiName := fmt.Sprintf("%s,%s.%d", parent.Table(), mid, gen)
+	// discard abandons a half-created daughter: its store closes and,
+	// on the durable backend, its directory (partial WAL records) is
+	// reclaimed — a retried split mints fresh daughter names, so an
+	// orphaned directory would never be reused.
+	discard := func(d *Region) {
+		d.Store().Close()
+		if dd := rs.Config().DataDir; dd != "" {
+			_ = os.RemoveAll(regionDataDir(dd, d.Name()))
 		}
-		if err := dst.Store().Put(e.Key, e.Value); err != nil {
-			reopen()
-			return fmt.Errorf("hbase: split %s: %w", regionName, err)
-		}
+	}
+	lo, err := newRegionNamed(loName, parent.Table(), parent.StartKey(), mid,
+		rs.storeConfigFor(loName, rs.NumRegions()+2))
+	if err != nil {
+		reopen()
+		return fmt.Errorf("hbase: split %s: %w", regionName, err)
+	}
+	hi, err := newRegionNamed(hiName, parent.Table(), mid, parent.EndKey(),
+		rs.storeConfigFor(hiName, rs.NumRegions()+2))
+	if err != nil {
+		discard(lo)
+		reopen()
+		return fmt.Errorf("hbase: split %s: %w", regionName, err)
+	}
+	// Bulk-import each half: one group-commit fsync per daughter on the
+	// durable backend instead of one per entry.
+	split := sort.Search(len(entries), func(i int) bool { return entries[i].Key >= mid })
+	if err := lo.Store().ImportEntries(entries[:split]); err == nil {
+		err = hi.Store().ImportEntries(entries[split:])
+	}
+	if err != nil {
+		discard(lo)
+		discard(hi)
+		reopen()
+		return fmt.Errorf("hbase: split %s: %w", regionName, err)
 	}
 	// Release the parent's HDFS files; the daughters start clean.
 	for _, f := range parent.Files() {
@@ -96,8 +120,13 @@ func (m *Master) SplitRegion(regionName string) error {
 	m.assignment[hi.Name()] = host
 	m.mu.Unlock()
 	// The daughters are authoritative; stragglers still holding the
-	// parent's store see ErrClosed from here on.
+	// parent's store see ErrClosed from here on. A durable parent's
+	// directory is reclaimed — its data now lives in the daughters'
+	// logs and SSTables.
 	parent.Store().Close()
+	if dd := rs.Config().DataDir; dd != "" {
+		_ = os.RemoveAll(regionDataDir(dd, parent.Name()))
+	}
 	return nil
 }
 

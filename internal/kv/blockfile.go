@@ -15,82 +15,155 @@ type Block struct {
 	bytes   int
 }
 
+// NewBlock builds a block from sorted entries, computing its logical byte
+// size. Block sources outside this package (met/internal/durable) use it
+// to hand decoded data blocks back to the engine.
+func NewBlock(entries []Entry) *Block {
+	b := &Block{entries: entries}
+	for _, e := range entries {
+		b.bytes += e.Size()
+	}
+	return b
+}
+
 // Len returns the number of entries in the block.
 func (b *Block) Len() int { return len(b.entries) }
 
 // Bytes returns the approximate byte size of the block.
 func (b *Block) Bytes() int { return b.bytes }
 
-// StoreFile is an immutable sorted file produced by a memstore flush or a
-// compaction. Entries are partitioned into blocks; a sparse index maps
-// the first key of each block. StoreFile corresponds to an HBase HFile.
-type StoreFile struct {
-	id        uint64
-	blocks    []*Block
-	firstKeys []string // firstKeys[i] is blocks[i].entries[0].Key
-	minKey    string
-	maxKey    string
-	entries   int
-	bytes     int
-	maxTS     uint64
+// Entries returns the block's entries (shared, not copied; callers must
+// treat them as immutable).
+func (b *Block) Entries() []Entry { return b.entries }
+
+// BlockSource is the storage behind a StoreFile: an ordered sequence of
+// immutable blocks plus an optional membership filter. The engine layers
+// the block cache, the sparse key index and the iterators on top, so a
+// source only has to produce blocks — from memory (memorySource) or from
+// an on-disk SSTable (met/internal/durable).
+type BlockSource interface {
+	// NumBlocks returns the number of data blocks.
+	NumBlocks() int
+	// FirstKey returns the first key of block i (the sparse index).
+	FirstKey(i int) string
+	// LoadBlock materializes block i. The engine caches the result, so a
+	// source may read and decode from disk on every call.
+	LoadBlock(i int) (*Block, error)
+	// MayContain is a fast membership filter: false means the key is
+	// definitely absent and no block needs to be read (bloom filter);
+	// true means "maybe". Sources without a filter return true.
+	MayContain(key string) bool
 }
 
-// BuildStoreFile packs sorted entries (key asc, timestamp desc) into a
-// file with blocks of at most blockSize bytes. It panics when entries are
-// unsorted: store files are only ever built from sorted iterators, so
-// unsorted input means engine corruption.
-func BuildStoreFile(id uint64, entries []Entry, blockSize int) *StoreFile {
+// FileMeta carries the summary statistics a StoreFile serves without
+// touching its blocks.
+type FileMeta struct {
+	Entries int
+	Bytes   int
+	MinKey  string
+	MaxKey  string
+	MaxTS   uint64
+}
+
+// StoreFile is an immutable sorted file produced by a memstore flush or a
+// compaction, corresponding to an HBase HFile. It wraps a BlockSource
+// with the sparse first-key index, the block cache and the negative-
+// lookup filter, so in-memory and on-disk files serve reads through the
+// same code path.
+type StoreFile struct {
+	id        uint64
+	src       BlockSource
+	firstKeys []string // firstKeys[i] is the first key of block i
+	meta      FileMeta
+}
+
+// NewStoreFile wraps a block source and its metadata as a store file.
+// The sparse index is copied out of the source once, up front.
+func NewStoreFile(id uint64, meta FileMeta, src BlockSource) *StoreFile {
+	f := &StoreFile{id: id, src: src, meta: meta}
+	f.firstKeys = make([]string, src.NumBlocks())
+	for i := range f.firstKeys {
+		f.firstKeys[i] = src.FirstKey(i)
+	}
+	return f
+}
+
+// memorySource is the heap-resident BlockSource used by the memory
+// backend: blocks live in RAM and every key "may" be present.
+type memorySource struct {
+	blocks []*Block
+}
+
+func (m *memorySource) NumBlocks() int                  { return len(m.blocks) }
+func (m *memorySource) FirstKey(i int) string           { return m.blocks[i].entries[0].Key }
+func (m *memorySource) LoadBlock(i int) (*Block, error) { return m.blocks[i], nil }
+func (m *memorySource) MayContain(key string) bool      { return true }
+
+// PackBlocks partitions sorted entries (key asc, timestamp desc) into
+// blocks of at most blockSize bytes and returns them with the file
+// metadata. It panics when entries are unsorted: files are only ever
+// built from sorted iterators, so unsorted input means engine corruption.
+// Both the memory backend and the durable SSTable writer build on it so
+// the two formats pack identically.
+func PackBlocks(entries []Entry, blockSize int) ([]*Block, FileMeta) {
 	if blockSize <= 0 {
 		blockSize = 64 * 1024
 	}
-	f := &StoreFile{id: id}
+	var blocks []*Block
+	var meta FileMeta
 	var cur *Block
 	for i, e := range entries {
 		if i > 0 && less(e, entries[i-1]) {
-			panic(fmt.Sprintf("kv: unsorted entries building file %d", id))
+			panic(fmt.Sprintf("kv: unsorted entries packing blocks (%q after %q)", e.Key, entries[i-1].Key))
 		}
 		if cur == nil || (cur.bytes+e.Size() > blockSize && cur.Len() > 0) {
 			cur = &Block{}
-			f.blocks = append(f.blocks, cur)
-			f.firstKeys = append(f.firstKeys, e.Key)
+			blocks = append(blocks, cur)
 		}
 		cur.entries = append(cur.entries, e)
 		cur.bytes += e.Size()
-		f.bytes += e.Size()
-		f.entries++
-		if e.Timestamp > f.maxTS {
-			f.maxTS = e.Timestamp
+		meta.Bytes += e.Size()
+		meta.Entries++
+		if e.Timestamp > meta.MaxTS {
+			meta.MaxTS = e.Timestamp
 		}
 	}
-	if f.entries > 0 {
-		f.minKey = entries[0].Key
-		f.maxKey = entries[len(entries)-1].Key
+	if meta.Entries > 0 {
+		meta.MinKey = entries[0].Key
+		meta.MaxKey = entries[len(entries)-1].Key
 	}
-	return f
+	return blocks, meta
+}
+
+// BuildStoreFile packs sorted entries into an in-memory store file.
+func BuildStoreFile(id uint64, entries []Entry, blockSize int) *StoreFile {
+	blocks, meta := PackBlocks(entries, blockSize)
+	return NewStoreFile(id, meta, &memorySource{blocks: blocks})
 }
 
 // ID returns the file's unique identifier.
 func (f *StoreFile) ID() uint64 { return f.id }
 
-// Bytes returns the file's total data size.
-func (f *StoreFile) Bytes() int { return f.bytes }
+// Bytes returns the file's total data size (for durable files, the real
+// on-disk size).
+func (f *StoreFile) Bytes() int { return f.meta.Bytes }
 
 // Entries returns the number of entry versions stored.
-func (f *StoreFile) Entries() int { return f.entries }
+func (f *StoreFile) Entries() int { return f.meta.Entries }
 
 // NumBlocks returns the number of blocks.
-func (f *StoreFile) NumBlocks() int { return len(f.blocks) }
+func (f *StoreFile) NumBlocks() int { return len(f.firstKeys) }
 
 // KeyRange returns the smallest and largest keys in the file.
-func (f *StoreFile) KeyRange() (minKey, maxKey string) { return f.minKey, f.maxKey }
+func (f *StoreFile) KeyRange() (minKey, maxKey string) { return f.meta.MinKey, f.meta.MaxKey }
 
 // MaxTimestamp returns the newest timestamp in the file.
-func (f *StoreFile) MaxTimestamp() uint64 { return f.maxTS }
+func (f *StoreFile) MaxTimestamp() uint64 { return f.meta.MaxTS }
 
 // blockFor returns the index of the block that could contain key, or -1
 // when the key is out of range.
 func (f *StoreFile) blockFor(key string) int {
-	if f.entries == 0 || key > f.maxKey {
+	if f.meta.Entries == 0 || key > f.meta.MaxKey {
 		return -1
 	}
 	// The first block whose first key is > key is one past the target.
@@ -99,7 +172,7 @@ func (f *StoreFile) blockFor(key string) int {
 		return i
 	}
 	if i == 0 {
-		if key < f.minKey {
+		if key < f.meta.MinKey {
 			return -1
 		}
 		return 0
@@ -108,45 +181,59 @@ func (f *StoreFile) blockFor(key string) int {
 }
 
 // get looks up the newest version of key, loading the candidate block
-// through the cache. found=false means the key is not in this file.
-func (f *StoreFile) get(key string, cache *BlockCache, stats *storeStats) (Entry, bool) {
+// through the cache. found=false with a nil error means the key is not in
+// this file; the filter check comes first, so a negative lookup on a
+// bloom-filtered file reads no data block at all.
+func (f *StoreFile) get(key string, cache *BlockCache, stats *storeStats) (Entry, bool, error) {
 	bi := f.blockFor(key)
 	if bi < 0 {
-		return Entry{}, false
+		return Entry{}, false, nil
 	}
-	b := f.loadBlock(bi, cache, stats)
+	if !f.src.MayContain(key) {
+		if stats != nil {
+			stats.filterNegatives.Add(1)
+		}
+		return Entry{}, false, nil
+	}
+	b, err := f.loadBlock(bi, cache, stats)
+	if err != nil {
+		return Entry{}, false, err
+	}
 	// Entries are (key asc, ts desc); find first entry >= (key, maxTS).
 	probe := Entry{Key: key, Timestamp: ^uint64(0)}
 	i := sort.Search(len(b.entries), func(i int) bool { return !less(b.entries[i], probe) })
 	if i < len(b.entries) && b.entries[i].Key == key {
-		return b.entries[i], true
+		return b.entries[i], true, nil
 	}
-	return Entry{}, false
+	return Entry{}, false, nil
 }
 
 // loadBlock fetches block bi through the cache, recording hit/miss stats.
-func (f *StoreFile) loadBlock(bi int, cache *BlockCache, stats *storeStats) *Block {
+func (f *StoreFile) loadBlock(bi int, cache *BlockCache, stats *storeStats) (*Block, error) {
 	if cache == nil {
 		if stats != nil {
 			stats.cacheMisses.Add(1)
 			stats.blocksRead.Add(1)
 		}
-		return f.blocks[bi]
+		return f.src.LoadBlock(bi)
 	}
 	key := blockKey{file: f.id, block: bi}
 	if b, ok := cache.get(key); ok {
 		if stats != nil {
 			stats.cacheHits.Add(1)
 		}
-		return b
+		return b, nil
 	}
-	b := f.blocks[bi]
+	b, err := f.src.LoadBlock(bi)
+	if err != nil {
+		return nil, err
+	}
 	cache.put(key, b)
 	if stats != nil {
 		stats.cacheMisses.Add(1)
 		stats.blocksRead.Add(1)
 	}
-	return b
+	return b, nil
 }
 
 // iterator walks the whole file in order, loading blocks through cache.
@@ -157,8 +244,8 @@ func (f *StoreFile) iterator(cache *BlockCache, stats *storeStats) Iterator {
 // iteratorFrom positions at the first entry with key >= start.
 func (f *StoreFile) iteratorFrom(start string, cache *BlockCache, stats *storeStats) Iterator {
 	it := &fileIter{f: f, cache: cache, stats: stats, block: -1}
-	if f.entries == 0 || start > f.maxKey {
-		it.block = len(f.blocks) // exhausted
+	if f.meta.Entries == 0 || start > f.meta.MaxKey {
+		it.block = len(f.firstKeys) // exhausted
 		return it
 	}
 	bi := f.blockFor(start)
@@ -166,12 +253,20 @@ func (f *StoreFile) iteratorFrom(start string, cache *BlockCache, stats *storeSt
 		bi = 0
 	}
 	it.block = bi
-	it.cur = f.loadBlock(bi, cache, stats)
+	cur, err := f.loadBlock(bi, cache, stats)
+	if err != nil {
+		it.err = err
+		it.block = len(f.firstKeys)
+		return it
+	}
+	it.cur = cur
 	probe := Entry{Key: start, Timestamp: ^uint64(0)}
 	it.idx = sort.Search(len(it.cur.entries), func(i int) bool { return !less(it.cur.entries[i], probe) }) - 1
 	return it
 }
 
+// fileIter iterates a store file. A block-load failure (possible only for
+// disk-backed sources) stops the iteration; Err reports it afterwards.
 type fileIter struct {
 	f     *StoreFile
 	cache *BlockCache
@@ -179,19 +274,29 @@ type fileIter struct {
 	block int
 	cur   *Block
 	idx   int
+	err   error
 }
 
 func (it *fileIter) Next() bool {
+	if it.err != nil {
+		return false
+	}
 	for {
-		if it.block >= len(it.f.blocks) {
+		if it.block >= len(it.f.firstKeys) {
 			return false
 		}
 		if it.cur == nil || it.idx+1 >= len(it.cur.entries) {
 			it.block++
-			if it.block >= len(it.f.blocks) {
+			if it.block >= len(it.f.firstKeys) {
 				return false
 			}
-			it.cur = it.f.loadBlock(it.block, it.cache, it.stats)
+			cur, err := it.f.loadBlock(it.block, it.cache, it.stats)
+			if err != nil {
+				it.err = err
+				it.block = len(it.f.firstKeys)
+				return false
+			}
+			it.cur = cur
 			it.idx = -1
 			if len(it.cur.entries) == 0 {
 				continue
@@ -203,3 +308,14 @@ func (it *fileIter) Next() bool {
 }
 
 func (it *fileIter) Entry() Entry { return it.cur.entries[it.idx] }
+
+// Err reports a block-load failure encountered during iteration.
+func (it *fileIter) Err() error { return it.err }
+
+// iterErr extracts the error from any iterator that tracks one.
+func iterErr(it Iterator) error {
+	if e, ok := it.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}

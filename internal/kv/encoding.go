@@ -93,19 +93,24 @@ func readBytes(buf []byte) (data, rest []byte, err error) {
 }
 
 // EncodeFile serializes a whole store file, block by block, each with a
-// CRC32 trailer.
-func EncodeFile(f *StoreFile) []byte {
+// CRC32 trailer. Blocks are loaded through the file's source, so this
+// works for disk-backed files too (and can then fail on I/O errors).
+func EncodeFile(f *StoreFile) ([]byte, error) {
 	var buf []byte
 	buf = binary.BigEndian.AppendUint32(buf, fileMagic)
 	buf = append(buf, fileVersion)
-	buf = binary.AppendUvarint(buf, uint64(len(f.blocks)))
-	for _, b := range f.blocks {
+	buf = binary.AppendUvarint(buf, uint64(f.NumBlocks()))
+	for i := 0; i < f.NumBlocks(); i++ {
+		b, err := f.src.LoadBlock(i)
+		if err != nil {
+			return nil, err
+		}
 		payload := EncodeBlock(b.entries)
 		buf = binary.AppendUvarint(buf, uint64(len(payload)))
 		buf = append(buf, payload...)
 		buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
 	}
-	return buf
+	return buf, nil
 }
 
 // DecodeFile reconstructs a store file (with the given id and block

@@ -94,7 +94,10 @@ func TestFileCodecRoundTrip(t *testing.T) {
 	if f.NumBlocks() < 2 {
 		t.Fatalf("want multiple blocks, got %d", f.NumBlocks())
 	}
-	wire := EncodeFile(f)
+	wire, err := EncodeFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	back, err := DecodeFile(10, 512, wire)
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +113,7 @@ func TestFileCodecRoundTrip(t *testing.T) {
 	// Every key findable in the decoded file.
 	for i := 0; i < 500; i += 37 {
 		key := fmt.Sprintf("key%04d", i)
-		e, found := back.get(key, nil, nil)
+		e, found, _ := back.get(key, nil, nil)
 		if !found || string(e.Value) != fmt.Sprintf("value-%d", i) {
 			t.Fatalf("key %s lost in round trip", key)
 		}
@@ -119,7 +122,10 @@ func TestFileCodecRoundTrip(t *testing.T) {
 
 func TestDecodeFileCorruption(t *testing.T) {
 	f := BuildStoreFile(1, []Entry{{Key: "k", Value: []byte("v"), Timestamp: 1}}, 64)
-	wire := EncodeFile(f)
+	wire, err := EncodeFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Bad magic.
 	bad := append([]byte(nil), wire...)
 	bad[0] ^= 0xff
@@ -149,7 +155,11 @@ func TestDecodeFileCorruption(t *testing.T) {
 
 func TestFileCodecEmptyFile(t *testing.T) {
 	f := BuildStoreFile(1, nil, 64)
-	back, err := DecodeFile(2, 64, EncodeFile(f))
+	wire, err := EncodeFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeFile(2, 64, wire)
 	if err != nil {
 		t.Fatal(err)
 	}

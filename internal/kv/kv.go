@@ -14,18 +14,34 @@
 // layer of the reproduction (examples, unit and property tests) runs
 // against genuine reads, writes, scans, flushes and compactions.
 //
+// # Storage backends
+//
+// Store files are views over a pluggable BlockSource, and the whole
+// persistence layer hangs off one StorageBackend interface: with a nil
+// backend (NewStore) files live on the heap; with a durable backend
+// (OpenStore + Config.OpenBackend, implemented by met/internal/durable)
+// flushes and compactions write real SSTables, mutations are logged to
+// an fsynced WAL before acknowledgement, and OpenStore recovers both on
+// restart. The engine code path — cache, index, iterators, compaction —
+// is identical either way.
+//
 // # Concurrency model
 //
 // A Store is safe for concurrent use by any number of goroutines. Its
-// reader/writer lock lets Gets and Scans proceed in parallel over the
-// immutable store-file stack and the memstore, while Puts, Deletes,
-// flushes, compactions, Recover and Close serialize as exclusive
-// writers. Store files are immutable after construction and need no
-// locking; the BlockCache is internally locked (every lookup mutates LRU
-// recency) and may be shared across stores; the engine counters behind
-// Stats are atomics, so the hot read path never takes an exclusive lock.
-// Lock ordering is Store.mu before BlockCache.mu — the cache never calls
-// back into a store, so the order cannot invert.
+// reader/writer lock lets Gets proceed in parallel over the immutable
+// store-file stack and the memstore, while Puts, Deletes, flushes,
+// compactions, Recover and Close serialize as exclusive writers. Scan
+// holds the read lock only long enough to snapshot the memstore pointer
+// and the file stack, then iterates lock-free: store files are
+// immutable, the file stack is replaced rather than mutated, and the
+// memstore skiplist publishes nodes through atomic pointers, so a long
+// scan never stalls the write path. The BlockCache is internally locked
+// (every lookup mutates LRU recency) and may be shared across stores;
+// the engine counters behind Stats are atomics. Lock ordering is
+// Store.mu before BlockCache.mu — the cache never calls back into a
+// store, so the order cannot invert. With a group-commit WAL, writers
+// append and apply under the write lock but wait for the shared fsync
+// outside it, so concurrent writers batch their durability cost.
 package kv
 
 import (
@@ -93,6 +109,7 @@ type Stats struct {
 	Compactions     int64
 	CompactedBytes  int64
 	BlocksRead      int64
+	FilterNegatives int64 // Gets answered "absent" by a file filter, no block read
 	MemstoreCurrent int64
 }
 

@@ -1,6 +1,10 @@
 package kv
 
-import "met/internal/sim"
+import (
+	"sync/atomic"
+
+	"met/internal/sim"
+)
 
 const maxSkipLevel = 18
 
@@ -9,9 +13,18 @@ const maxSkipLevel = 18
 // the newest first. It corresponds to HBase's MemStore; when its byte
 // footprint exceeds the configured threshold the store flushes it to an
 // immutable file.
+//
+// Concurrency: the memstore is single-writer, multi-reader. Add must be
+// serialized externally (the store's write lock does this), but Get and
+// the iterators may run concurrently with one Add: nodes are fully
+// initialized before being published, and every link is an atomic
+// pointer stored bottom-up, so a concurrent reader sees each node either
+// not at all or completely — never half-linked. Entries already inserted
+// are immutable (the identical-coordinates case replaces the whole node,
+// not the entry in place).
 type Memstore struct {
 	head  *skipNode
-	level int
+	level atomic.Int32 // current tower height; readers tolerate stale values
 	rng   *sim.RNG
 	bytes int
 	count int
@@ -20,13 +33,15 @@ type Memstore struct {
 
 type skipNode struct {
 	entry Entry
-	next  [maxSkipLevel]*skipNode
+	next  [maxSkipLevel]atomic.Pointer[skipNode]
 }
 
 // NewMemstore returns an empty memstore. The seed keeps skiplist tower
 // heights — and therefore iteration performance — deterministic.
 func NewMemstore(seed uint64) *Memstore {
-	return &Memstore{head: &skipNode{}, level: 1, rng: sim.NewRNG(seed)}
+	m := &Memstore{head: &skipNode{}, rng: sim.NewRNG(seed)}
+	m.level.Store(1)
+	return m
 }
 
 // less orders by key ascending, then timestamp descending (newest
@@ -48,35 +63,62 @@ func (m *Memstore) randomLevel() int {
 
 // Add inserts a new entry version. Entries with identical (key,
 // timestamp) replace the previous value, matching HBase semantics where
-// a cell is identified by its coordinates.
+// a cell is identified by its coordinates. Callers serialize Adds;
+// readers may proceed concurrently.
 func (m *Memstore) Add(e Entry) {
 	var update [maxSkipLevel]*skipNode
+	level := int(m.level.Load())
 	x := m.head
-	for i := m.level - 1; i >= 0; i-- {
-		for x.next[i] != nil && less(x.next[i].entry, e) {
-			x = x.next[i]
+	for i := level - 1; i >= 0; i-- {
+		for {
+			nxt := x.next[i].Load()
+			if nxt == nil || !less(nxt.entry, e) {
+				break
+			}
+			x = nxt
 		}
 		update[i] = x
 	}
-	if cand := x.next[0]; cand != nil && cand.entry.Key == e.Key && cand.entry.Timestamp == e.Timestamp {
+	if cand := x.next[0].Load(); cand != nil && cand.entry.Key == e.Key && cand.entry.Timestamp == e.Timestamp {
+		// Same cell coordinates: substitute a fresh node carrying the new
+		// value. In-place entry mutation would tear under a concurrent
+		// lock-free reader; node substitution gives readers either the
+		// old node or the new one, both fully formed.
+		repl := &skipNode{entry: e}
+		for i := 0; i < level; i++ {
+			if update[i].next[i].Load() != cand {
+				break
+			}
+			repl.next[i].Store(cand.next[i].Load())
+		}
+		for i := 0; i < level; i++ {
+			if update[i].next[i].Load() != cand {
+				break
+			}
+			update[i].next[i].Store(repl)
+		}
 		m.bytes += e.Size() - cand.entry.Size()
-		cand.entry = e
 		if e.Timestamp > m.maxTS {
 			m.maxTS = e.Timestamp
 		}
 		return
 	}
 	lvl := m.randomLevel()
-	if lvl > m.level {
-		for i := m.level; i < lvl; i++ {
+	if lvl > level {
+		for i := level; i < lvl; i++ {
 			update[i] = m.head
 		}
-		m.level = lvl
+		m.level.Store(int32(lvl))
 	}
 	n := &skipNode{entry: e}
 	for i := 0; i < lvl; i++ {
-		n.next[i] = update[i].next[i]
-		update[i].next[i] = n
+		n.next[i].Store(update[i].next[i].Load())
+	}
+	// Publish bottom-up: once the level-0 link lands, the node is fully
+	// reachable and fully initialized; upper links are shortcuts that may
+	// appear later without affecting readers' correctness.
+	for i := 0; i < lvl; i++ {
+		update[i].next[i].Store(n)
 	}
 	m.bytes += e.Size()
 	m.count++
@@ -89,12 +131,16 @@ func (m *Memstore) Add(e Entry) {
 func (m *Memstore) Get(key string) (Entry, bool) {
 	x := m.head
 	probe := Entry{Key: key, Timestamp: ^uint64(0)}
-	for i := m.level - 1; i >= 0; i-- {
-		for x.next[i] != nil && less(x.next[i].entry, probe) {
-			x = x.next[i]
+	for i := int(m.level.Load()) - 1; i >= 0; i-- {
+		for {
+			nxt := x.next[i].Load()
+			if nxt == nil || !less(nxt.entry, probe) {
+				break
+			}
+			x = nxt
 		}
 	}
-	if n := x.next[0]; n != nil && n.entry.Key == key {
+	if n := x.next[0].Load(); n != nil && n.entry.Key == key {
 		return n.entry, true
 	}
 	return Entry{}, false
@@ -110,7 +156,8 @@ func (m *Memstore) Len() int { return m.count }
 func (m *Memstore) MaxTimestamp() uint64 { return m.maxTS }
 
 // Iterator returns an iterator over all buffered versions in (key asc,
-// timestamp desc) order. The iterator is invalidated by concurrent Adds.
+// timestamp desc) order. Iteration is safe under a concurrent Add; it
+// observes a prefix-consistent view of the list.
 func (m *Memstore) Iterator() Iterator {
 	return &memstoreIter{node: m.head}
 }
@@ -120,9 +167,13 @@ func (m *Memstore) Iterator() Iterator {
 func (m *Memstore) IteratorFrom(start string) Iterator {
 	x := m.head
 	probe := Entry{Key: start, Timestamp: ^uint64(0)}
-	for i := m.level - 1; i >= 0; i-- {
-		for x.next[i] != nil && less(x.next[i].entry, probe) {
-			x = x.next[i]
+	for i := int(m.level.Load()) - 1; i >= 0; i-- {
+		for {
+			nxt := x.next[i].Load()
+			if nxt == nil || !less(nxt.entry, probe) {
+				break
+			}
+			x = nxt
 		}
 	}
 	return &memstoreIter{node: x}
@@ -133,11 +184,15 @@ type memstoreIter struct {
 }
 
 func (it *memstoreIter) Next() bool {
-	if it.node == nil || it.node.next[0] == nil {
+	if it.node == nil {
+		return false
+	}
+	nxt := it.node.next[0].Load()
+	if nxt == nil {
 		it.node = nil
 		return false
 	}
-	it.node = it.node.next[0]
+	it.node = nxt
 	return true
 }
 

@@ -2,15 +2,53 @@ package kv
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
 
 // fileIDCounter mints store-file IDs that are unique process-wide, so
-// stores sharing one BlockCache can never collide on cache keys.
+// stores sharing one BlockCache can never collide on cache keys. Durable
+// backends persist IDs inside file names; OpenStore bumps the counter
+// past every ID it loads so new files never collide with recovered ones.
 var fileIDCounter atomic.Uint64
 
 func nextFileID() uint64 { return fileIDCounter.Add(1) }
+
+// bumpFileID raises the counter to at least floor.
+func bumpFileID(floor uint64) {
+	for {
+		cur := fileIDCounter.Load()
+		if cur >= floor || fileIDCounter.CompareAndSwap(cur, floor) {
+			return
+		}
+	}
+}
+
+// StorageBackend persists a store's immutable files and provides its
+// write-ahead log. The engine calls it with sorted entries at flush and
+// compaction time and asks it to enumerate surviving files at open time;
+// everything else (caching, indexes, iterators, recovery ordering) is
+// engine-side. The memory backend is implicit (a nil backend); the
+// durable implementation lives in met/internal/durable.
+type StorageBackend interface {
+	// WAL returns the backend's write-ahead log, or nil when the backend
+	// does not log (Config.WAL then still applies).
+	WAL() WAL
+	// Create persists sorted entries as immutable file id and returns
+	// its reader. The file must be durable when Create returns, because
+	// the engine truncates the WAL after a flush.
+	Create(id uint64, entries []Entry, blockBytes int) (*StoreFile, error)
+	// Remove deletes a file retired by a compaction, releasing its
+	// reader. The engine calls it only once no in-flight iteration can
+	// still reference the file (see drainRetired), so implementations
+	// may close handles eagerly.
+	Remove(id uint64) error
+	// Load enumerates the persisted files, any order.
+	Load(blockBytes int) ([]*StoreFile, error)
+	// Close releases the backend's resources (open files, WAL).
+	Close() error
+}
 
 // Config holds the engine knobs the paper's node profiles tune.
 type Config struct {
@@ -30,8 +68,13 @@ type Config struct {
 	// Seed keeps the memstore skiplist deterministic.
 	Seed uint64
 	// WAL receives every mutation before it is applied. Nil disables
-	// logging.
+	// logging (unless OpenBackend supplies one).
 	WAL WAL
+	// OpenBackend, when set, is invoked by OpenStore to create the
+	// store's durable storage backend. It is a factory rather than an
+	// instance so a region reopen (server restart) can close the old
+	// store's backend and open a fresh one over the same directory.
+	OpenBackend func() (StorageBackend, error)
 	// Cache, when non-nil, is used instead of a private cache built
 	// from BlockCacheBytes. A region server shares one cache across all
 	// of its regions' stores, as HBase does.
@@ -67,22 +110,24 @@ type storeStats struct {
 	compactions            atomic.Int64
 	compactedBytes         atomic.Int64
 	blocksRead             atomic.Int64
+	filterNegatives        atomic.Int64
 }
 
 func (st *storeStats) snapshot() Stats {
 	return Stats{
-		Gets:           st.gets.Load(),
-		Puts:           st.puts.Load(),
-		Deletes:        st.deletes.Load(),
-		Scans:          st.scans.Load(),
-		ScannedEntries: st.scannedEntries.Load(),
-		CacheHits:      st.cacheHits.Load(),
-		CacheMisses:    st.cacheMisses.Load(),
-		Flushes:        st.flushes.Load(),
-		FlushedBytes:   st.flushedBytes.Load(),
-		Compactions:    st.compactions.Load(),
-		CompactedBytes: st.compactedBytes.Load(),
-		BlocksRead:     st.blocksRead.Load(),
+		Gets:            st.gets.Load(),
+		Puts:            st.puts.Load(),
+		Deletes:         st.deletes.Load(),
+		Scans:           st.scans.Load(),
+		ScannedEntries:  st.scannedEntries.Load(),
+		CacheHits:       st.cacheHits.Load(),
+		CacheMisses:     st.cacheMisses.Load(),
+		Flushes:         st.flushes.Load(),
+		FlushedBytes:    st.flushedBytes.Load(),
+		Compactions:     st.compactions.Load(),
+		CompactedBytes:  st.compactedBytes.Load(),
+		BlocksRead:      st.blocksRead.Load(),
+		FilterNegatives: st.filterNegatives.Load(),
 	}
 }
 
@@ -92,29 +137,52 @@ func (st *storeStats) snapshot() Stats {
 //
 // Concurrency model: mu is a reader/writer lock over the engine
 // structure (memstore pointer and contents, file stack, seq, closed).
-// Get and Scan take the read lock, so any number of readers proceed in
-// parallel; Put, Delete, Flush, Compact, Recover and Close take the
-// write lock, which also makes them the only memstore mutators — a
-// skiplist traversal under RLock can therefore never observe a
-// half-linked node. Store files are immutable once built, the shared
-// BlockCache is internally locked, and engine counters are atomics, so
-// the read path touches no unprotected shared state. A Scan holds the
-// read lock for its whole iteration: it sees a consistent snapshot and
-// delays writers, which matches HBase's scanner semantics at region
-// granularity.
+// Get takes the read lock, so any number of readers proceed in parallel;
+// Put, Delete, Flush, Compact, Recover and Close take the write lock,
+// which also makes them the only memstore mutators. Scan takes the read
+// lock only long enough to snapshot the memstore pointer and the file
+// stack, then iterates lock-free: the file stack is replaced (never
+// mutated) by flushes and compactions, store files are immutable once
+// built, and the memstore skiplist publishes nodes with atomic pointers,
+// so a reader never observes a half-linked node even while the single
+// writer (under the write lock) keeps inserting. The shared BlockCache
+// is internally locked and engine counters are atomics, so the read path
+// touches no unprotected shared state.
+//
+// Durability: with a group-commit WAL (GroupWAL), a mutation is appended
+// to the log and applied to the memstore under the write lock, but the
+// caller is acknowledged only after the log record is fsynced — the wait
+// happens outside the lock, so concurrent writers batch into one fsync.
+// A crash can therefore lose only writes that were never acknowledged
+// (readers may have glimpsed them, the same window HBase exposes).
 type Store struct {
-	mu     sync.RWMutex
-	cfg    Config
-	mem    *Memstore
-	files  []*StoreFile // newest first
-	cache  *BlockCache
-	stats  storeStats
-	seq    uint64 // logical clock for timestamps; mutated under mu (write)
-	sealed bool
-	closed bool
+	mu        sync.RWMutex
+	cfg       Config
+	mem       *Memstore
+	files     []*StoreFile // newest first
+	cache     *BlockCache
+	backend   StorageBackend
+	stats     storeStats
+	seq       uint64 // logical clock for timestamps; mutated under mu (write)
+	recovered int    // WAL entries replayed at open
+	sealed    bool
+	closed    bool
+
+	// Retired-file reclamation: compaction may retire files while
+	// lock-free scans still iterate them, so backend removal (which
+	// closes the reader and unlinks the file) is deferred until no scan
+	// is in flight. activeScans counts lock-free iterations; retired
+	// holds file IDs awaiting removal. A scan that started after the
+	// retirement snapshotted the new stack and never touches retired
+	// files, so "no active scans" is a safe drain condition.
+	activeScans atomic.Int64
+	retiredMu   sync.Mutex
+	retired     []uint64
 }
 
-// NewStore creates an empty store with the given configuration.
+// NewStore creates an empty in-memory store with the given configuration.
+// Config.OpenBackend is ignored; durable stores are created with
+// OpenStore, which can also report recovery errors.
 func NewStore(cfg Config) *Store {
 	cfg = cfg.withDefaults()
 	cache := cfg.Cache
@@ -128,8 +196,72 @@ func NewStore(cfg Config) *Store {
 	}
 }
 
+// OpenStore creates a store and, when Config.OpenBackend is set, opens
+// its durable backend: persisted files are loaded, the WAL is replayed
+// into the memstore (recovery), and the logical clock resumes past every
+// recovered timestamp, so a reopened store acknowledges no timestamp
+// twice. Recovered() reports how many WAL entries were replayed.
+func OpenStore(cfg Config) (*Store, error) {
+	s := NewStore(cfg)
+	if cfg.OpenBackend == nil {
+		return s, nil
+	}
+	backend, err := cfg.OpenBackend()
+	if err != nil {
+		return nil, fmt.Errorf("kv: open backend: %w", err)
+	}
+	files, err := backend.Load(s.cfg.BlockBytes)
+	if err != nil {
+		backend.Close()
+		return nil, fmt.Errorf("kv: load files: %w", err)
+	}
+	// Newest first; durable file IDs are minted in increasing order.
+	sort.Slice(files, func(i, j int) bool { return files[i].ID() > files[j].ID() })
+	s.backend = backend
+	s.files = files
+	for _, f := range files {
+		bumpFileID(f.ID())
+		if f.MaxTimestamp() > s.seq {
+			s.seq = f.MaxTimestamp()
+		}
+	}
+	if s.cfg.WAL == nil {
+		s.cfg.WAL = backend.WAL()
+	}
+	if s.cfg.WAL != nil {
+		entries, err := replayWAL(s.cfg.WAL)
+		if err != nil {
+			backend.Close()
+			return nil, fmt.Errorf("kv: wal replay: %w", err)
+		}
+		for _, e := range entries {
+			s.mem.Add(e)
+			if e.Timestamp > s.seq {
+				s.seq = e.Timestamp
+			}
+			s.recovered++
+		}
+	}
+	return s, nil
+}
+
+// replayWAL prefers the error-reporting recovery path when the WAL
+// offers one: a torn tail is an expected crash artifact, but a real read
+// error during recovery must fail the open loudly — silently dropping
+// the log would violate the acknowledged-writes-survive guarantee.
+func replayWAL(w WAL) ([]Entry, error) {
+	if rw, ok := w.(interface{ ReplayEntries() ([]Entry, error) }); ok {
+		return rw.ReplayEntries()
+	}
+	return w.Entries(), nil
+}
+
 // Config returns the store's configuration.
 func (s *Store) Config() Config { return s.cfg }
+
+// Recovered returns the number of WAL entries replayed when the store
+// was opened (0 for in-memory stores).
+func (s *Store) Recovered() int { return s.recovered }
 
 // nextTimestamp returns a strictly increasing logical timestamp. Callers
 // must hold the write lock.
@@ -138,45 +270,108 @@ func (s *Store) nextTimestamp() uint64 {
 	return s.seq
 }
 
-// Put writes a value. Writes are atomic and immediately visible to
-// subsequent reads, matching HBase's contract.
-func (s *Store) Put(key string, value []byte) error {
+// mutate is the shared Put/Delete path: log, apply to the memstore, and
+// flush if over threshold, all under the write lock; then — outside the
+// lock — wait for the WAL record to be durable before acknowledging.
+func (s *Store) mutate(e Entry, counter *atomic.Int64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed || s.sealed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	e := Entry{Key: key, Value: append([]byte(nil), value...), Timestamp: s.nextTimestamp()}
+	e.Timestamp = s.nextTimestamp()
+	var commit func() error
 	if s.cfg.WAL != nil {
-		if err := s.cfg.WAL.Append(e); err != nil {
+		if gw, ok := s.cfg.WAL.(GroupWAL); ok {
+			c, err := gw.AppendBuffered(e)
+			if err != nil {
+				s.mu.Unlock()
+				return fmt.Errorf("kv: wal append: %w", err)
+			}
+			commit = c
+		} else if err := s.cfg.WAL.Append(e); err != nil {
+			s.mu.Unlock()
 			return fmt.Errorf("kv: wal append: %w", err)
 		}
 	}
 	s.mem.Add(e)
-	s.stats.puts.Add(1)
+	counter.Add(1)
+	var flushErr error
 	if s.mem.Bytes() >= s.cfg.MemstoreFlushBytes {
-		s.flushLocked()
+		flushErr = s.flushLocked()
+	}
+	s.mu.Unlock()
+	if commit != nil {
+		if err := commit(); err != nil {
+			return fmt.Errorf("kv: wal sync: %w", err)
+		}
+	}
+	if flushErr != nil {
+		return fmt.Errorf("kv: flush: %w", flushErr)
 	}
 	return nil
 }
 
+// Put writes a value. Writes are atomic and immediately visible to
+// subsequent reads, matching HBase's contract; with a group-commit WAL
+// the call returns only once the write is durable.
+func (s *Store) Put(key string, value []byte) error {
+	return s.mutate(Entry{Key: key, Value: append([]byte(nil), value...)}, &s.stats.puts)
+}
+
 // Delete writes a tombstone for key.
 func (s *Store) Delete(key string) error {
+	return s.mutate(Entry{Key: key, Tombstone: true}, &s.stats.deletes)
+}
+
+// ImportEntries bulk-loads entries as fresh writes — the migration path
+// (region splits, store reopens) uses it instead of per-entry Puts so a
+// durable store pays one group-commit fsync for the whole batch instead
+// of one per entry. Entries are re-timestamped in order, so they shadow
+// nothing newer than themselves.
+func (s *Store) ImportEntries(entries []Entry) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed || s.sealed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	e := Entry{Key: key, Timestamp: s.nextTimestamp(), Tombstone: true}
-	if s.cfg.WAL != nil {
-		if err := s.cfg.WAL.Append(e); err != nil {
-			return fmt.Errorf("kv: wal append: %w", err)
+	gw, _ := s.cfg.WAL.(GroupWAL)
+	var commit func() error
+	for _, e := range entries {
+		ne := Entry{
+			Key:       e.Key,
+			Value:     append([]byte(nil), e.Value...),
+			Tombstone: e.Tombstone,
+			Timestamp: s.nextTimestamp(),
+		}
+		if s.cfg.WAL != nil {
+			if gw != nil {
+				c, err := gw.AppendBuffered(ne)
+				if err != nil {
+					s.mu.Unlock()
+					return fmt.Errorf("kv: wal append: %w", err)
+				}
+				commit = c
+			} else if err := s.cfg.WAL.Append(ne); err != nil {
+				s.mu.Unlock()
+				return fmt.Errorf("kv: wal append: %w", err)
+			}
+		}
+		s.mem.Add(ne)
+		s.stats.puts.Add(1)
+	}
+	var flushErr error
+	if s.mem.Bytes() >= s.cfg.MemstoreFlushBytes {
+		flushErr = s.flushLocked()
+	}
+	s.mu.Unlock()
+	if commit != nil {
+		if err := commit(); err != nil {
+			return fmt.Errorf("kv: wal sync: %w", err)
 		}
 	}
-	s.mem.Add(e)
-	s.stats.deletes.Add(1)
-	if s.mem.Bytes() >= s.cfg.MemstoreFlushBytes {
-		s.flushLocked()
+	if flushErr != nil {
+		return fmt.Errorf("kv: flush: %w", flushErr)
 	}
 	return nil
 }
@@ -196,7 +391,11 @@ func (s *Store) Get(key string) ([]byte, error) {
 		if ok && best.Timestamp >= f.MaxTimestamp() {
 			break // nothing newer can exist in older files
 		}
-		if e, found := f.get(key, s.cache, &s.stats); found {
+		e, found, err := f.get(key, s.cache, &s.stats)
+		if err != nil {
+			return nil, fmt.Errorf("kv: read file %d: %w", f.ID(), err)
+		}
+		if found {
 			if !ok || e.supersedes(best) {
 				best, ok = e, true
 			}
@@ -210,18 +409,31 @@ func (s *Store) Get(key string) ([]byte, error) {
 
 // Scan returns up to limit live entries with start <= key < end, in key
 // order. An empty end means "to the end of the store"; limit < 0 means
-// unlimited. The read lock is held for the whole iteration, so the scan
-// sees one consistent snapshot.
+// unlimited. The read lock is held only to snapshot the memstore and the
+// immutable file stack; the iteration itself runs lock-free, so long
+// scans never stall writers. The snapshot is consistent at the moment it
+// is taken; entries written afterwards may or may not be observed, which
+// matches HBase's scanner semantics.
 func (s *Store) Scan(start, end string, limit int) ([]Entry, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if s.closed {
+		s.mu.RUnlock()
 		return nil, ErrClosed
 	}
+	mem := s.mem
+	files := s.files
+	s.activeScans.Add(1)
+	s.mu.RUnlock()
+	defer func() {
+		if s.activeScans.Add(-1) == 0 {
+			s.drainRetired(false)
+		}
+	}()
+
 	s.stats.scans.Add(1)
-	sources := make([]Iterator, 0, len(s.files)+1)
-	sources = append(sources, s.mem.IteratorFrom(start))
-	for _, f := range s.files {
+	sources := make([]Iterator, 0, len(files)+1)
+	sources = append(sources, mem.IteratorFrom(start))
+	for _, f := range files {
 		sources = append(sources, f.iteratorFrom(start, s.cache, &s.stats))
 	}
 	it := newLimitIterator(newBoundIterator(newDedupIterator(newMergeIterator(sources), true), end), limit)
@@ -234,26 +446,36 @@ func (s *Store) Scan(start, end string, limit int) ([]Entry, error) {
 		scanned++
 	}
 	s.stats.scannedEntries.Add(scanned)
+	for _, src := range sources {
+		if err := iterErr(src); err != nil {
+			return nil, fmt.Errorf("kv: scan: %w", err)
+		}
+	}
 	return out, nil
 }
 
 // Flush forces the memstore to a new store file.
-func (s *Store) Flush() {
+func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.flushLocked()
+	return s.flushLocked()
 }
 
-func (s *Store) flushLocked() {
+func (s *Store) flushLocked() error {
 	if s.mem.Len() == 0 {
-		return
+		return nil
 	}
 	entries := make([]Entry, 0, s.mem.Len())
 	it := s.mem.Iterator()
 	for it.Next() {
 		entries = append(entries, it.Entry())
 	}
-	f := BuildStoreFile(nextFileID(), entries, s.cfg.BlockBytes)
+	f, err := s.createFile(nextFileID(), entries)
+	if err != nil {
+		// Keep the memstore: the data stays readable and logged; the
+		// next flush retries.
+		return err
+	}
 	maxTS := s.mem.MaxTimestamp()
 	s.files = append([]*StoreFile{f}, s.files...)
 	s.stats.flushes.Add(1)
@@ -263,26 +485,35 @@ func (s *Store) flushLocked() {
 		s.cfg.WAL.Truncate(maxTS)
 	}
 	if s.cfg.MaxStoreFiles > 0 && len(s.files) > s.cfg.MaxStoreFiles {
-		s.compactLocked(false)
+		return s.compactLocked(false)
 	}
+	return nil
+}
+
+// createFile persists sorted entries through the backend (or in memory).
+func (s *Store) createFile(id uint64, entries []Entry) (*StoreFile, error) {
+	if s.backend != nil {
+		return s.backend.Create(id, entries, s.cfg.BlockBytes)
+	}
+	return BuildStoreFile(id, entries, s.cfg.BlockBytes), nil
 }
 
 // Compact merges every store file (and nothing from the memstore) into a
 // single file. With major=true, tombstones and shadowed versions are
 // dropped — HBase's "major compact", the operation MeT issues to restore
 // data locality after moving regions.
-func (s *Store) Compact(major bool) {
+func (s *Store) Compact(major bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.compactLocked(major)
+	return s.compactLocked(major)
 }
 
-func (s *Store) compactLocked(major bool) {
+func (s *Store) compactLocked(major bool) error {
 	if len(s.files) <= 1 && !major {
-		return
+		return nil
 	}
 	if len(s.files) == 0 {
-		return
+		return nil
 	}
 	sources := make([]Iterator, 0, len(s.files))
 	var inBytes int
@@ -295,13 +526,51 @@ func (s *Store) compactLocked(major bool) {
 	for it.Next() {
 		entries = append(entries, it.Entry())
 	}
-	for _, f := range s.files {
-		s.cache.invalidateFile(f.id)
+	for _, src := range sources {
+		if err := iterErr(src); err != nil {
+			return fmt.Errorf("kv: compact read: %w", err)
+		}
 	}
-	merged := BuildStoreFile(nextFileID(), entries, s.cfg.BlockBytes)
+	merged, err := s.createFile(nextFileID(), entries)
+	if err != nil {
+		return fmt.Errorf("kv: compact write: %w", err)
+	}
+	old := s.files
 	s.files = []*StoreFile{merged}
+	for _, f := range old {
+		s.cache.invalidateFile(f.id)
+		if s.backend != nil {
+			s.retiredMu.Lock()
+			s.retired = append(s.retired, f.ID())
+			s.retiredMu.Unlock()
+		}
+	}
+	s.drainRetired(false)
 	s.stats.compactions.Add(1)
 	s.stats.compactedBytes.Add(int64(inBytes))
+	return nil
+}
+
+// drainRetired removes retired files through the backend — closing their
+// readers and unlinking them — once no lock-free scan can still be
+// reading them. force skips the active-scan check (Close: racing scans
+// already fail with ErrClosed once the backend shuts).
+func (s *Store) drainRetired(force bool) {
+	if s.backend == nil {
+		return
+	}
+	if !force && s.activeScans.Load() != 0 {
+		return
+	}
+	s.retiredMu.Lock()
+	ids := s.retired
+	s.retired = nil
+	s.retiredMu.Unlock()
+	// A scan starting now snapshots the current stack, which no longer
+	// references these files, so removing them cannot affect it.
+	for _, id := range ids {
+		_ = s.backend.Remove(id)
+	}
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -332,13 +601,32 @@ func (s *Store) NumFiles() int {
 	return len(s.files)
 }
 
+// FileInfo describes one immutable store file, for embedders that mirror
+// the engine's file stack into an external system (the HDFS layer).
+type FileInfo struct {
+	ID    uint64
+	Bytes int64
+}
+
+// FileInfos snapshots the current immutable file stack, newest first.
+func (s *Store) FileInfos() []FileInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]FileInfo, len(s.files))
+	for i, f := range s.files {
+		out[i] = FileInfo{ID: f.ID(), Bytes: int64(f.Bytes())}
+	}
+	return out
+}
+
 // CacheHitRatio exposes the block cache's observed hit ratio.
 func (s *Store) CacheHitRatio() float64 {
 	return s.cache.HitRatio()
 }
 
 // Recover rebuilds the memstore from the WAL; used after a simulated
-// crash. Returns the number of entries replayed.
+// crash with an in-memory WAL (durable stores instead recover inside
+// OpenStore). Returns the number of entries replayed.
 func (s *Store) Recover() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -359,9 +647,9 @@ func (s *Store) Recover() int {
 // Seal stops accepting mutations — Put and Delete fail with ErrClosed —
 // while reads keep being served. Region migrations (reopen on restart,
 // splits) seal the source store before copying it so that every write
-// ever acknowledged is either in the copy or was never acknowledged:
-// a Put that returned nil completed under the write lock before Seal
-// acquired it, and is therefore visible to the migration's Scan.
+// ever acknowledged is either in the copy or never acknowledged: a Put
+// that returned nil completed under the write lock before Seal acquired
+// it, and is therefore visible to the migration's Scan.
 func (s *Store) Seal() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -376,10 +664,18 @@ func (s *Store) Unseal() {
 	s.sealed = false
 }
 
-// Close marks the store closed; subsequent operations fail with
-// ErrClosed.
+// Close marks the store closed and releases its backend (open file
+// handles, WAL); subsequent operations fail with ErrClosed. A durable
+// store must be closed before its directory is reopened.
 func (s *Store) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
 	s.closed = true
+	if s.backend != nil {
+		s.drainRetired(true)
+		_ = s.backend.Close()
+	}
 }

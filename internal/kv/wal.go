@@ -16,6 +16,20 @@ type WAL interface {
 	Entries() []Entry
 }
 
+// GroupWAL is an optional WAL extension for group commit. AppendBuffered
+// writes the record to the log's buffer (establishing its position in the
+// replay order) and returns a commit function; the caller invokes commit
+// outside the engine lock, where it blocks until the record is durable on
+// disk. Concurrent writers that buffer before the next fsync share that
+// one fsync — the classic group commit amortization. The engine detects
+// the extension with a type assertion, so plain WALs keep working.
+type GroupWAL interface {
+	WAL
+	// AppendBuffered buffers a mutation and returns the function that
+	// waits for its durability. It must not retain e.Value.
+	AppendBuffered(e Entry) (commit func() error, err error)
+}
+
 // MemoryWAL is an in-memory WAL used by tests and the simulation. It
 // copies values on append so callers may reuse buffers.
 type MemoryWAL struct {

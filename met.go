@@ -15,6 +15,23 @@
 //   - the experiment runners (RunFigure1, RunFigure4, RunTable2,
 //     RunElasticity) that regenerate every table and figure of the
 //     paper's evaluation on the performance-model deployment.
+//
+// # Choosing a storage backend
+//
+// Region stores run on one of two backends, selected per server by
+// ServerConfig.DataDir:
+//
+//   - In-memory (DataDir == "", the default): data lives in the
+//     memstore and heap-resident store files. Fast and hermetic — what
+//     the paper's simulated experiments and most tests use. A process
+//     exit loses everything.
+//   - Durable (DataDir set): each region persists to its own directory
+//     under DataDir — a group-committed, CRC-framed write-ahead log
+//     plus SSTable block files with bloom filters (met/internal/
+//     durable). Puts are acknowledged only after an fsync; restarts and
+//     crashes recover every acknowledged write from disk. Use
+//     NewClusterConfig to build a durable cluster, or `metbench
+//     -durable DIR` to drive one under YCSB load.
 package met
 
 import (
@@ -68,13 +85,21 @@ func DefaultParams() Params { return core.DefaultParams() }
 // NewCluster creates a functional cluster with n homogeneous region
 // servers (each co-located with an HDFS datanode, replication factor 2).
 func NewCluster(n int) (*Cluster, error) {
+	return NewClusterConfig(n, hbase.DefaultServerConfig())
+}
+
+// NewClusterConfig creates a functional cluster with n region servers
+// sharing cfg. Setting cfg.DataDir puts every region store on the
+// durable disk backend (WAL + SSTables, crash recovery); leaving it
+// empty keeps the in-memory simulation backend.
+func NewClusterConfig(n int, cfg ServerConfig) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("met: cluster needs at least one server, got %d", n)
 	}
 	nn := hdfs.NewNamenode(2)
 	m := hbase.NewMaster(nn)
 	for i := 0; i < n; i++ {
-		if _, err := m.AddServer(fmt.Sprintf("rs%d", i), hbase.DefaultServerConfig()); err != nil {
+		if _, err := m.AddServer(fmt.Sprintf("rs%d", i), cfg); err != nil {
 			return nil, err
 		}
 	}
