@@ -28,10 +28,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"met"
+	"met/internal/compaction"
 	"met/internal/hbase"
+	"met/internal/kv"
 	"met/internal/sim"
 	"met/internal/tpcc"
 	"met/internal/ycsb"
@@ -39,30 +42,100 @@ import (
 
 // result is the machine-readable benchmark report (-json).
 type result struct {
-	Workload    string           `json:"workload"`
-	Ops         int              `json:"ops"`
-	Records     int64            `json:"records"`
-	Servers     int              `json:"servers"`
-	Concurrency int              `json:"concurrency"`
-	Durable     bool             `json:"durable"`
-	WallSeconds float64          `json:"wall_seconds"`
-	NsPerOp     float64          `json:"ns_per_op"`
-	OpsPerSec   float64          `json:"ops_per_sec"`
-	Completed   int64            `json:"completed"`
-	Errors      int64            `json:"errors"`
-	Transient   int64            `json:"transient,omitempty"`
-	PerOp       map[string]int64 `json:"per_op,omitempty"`
-	Cluster     []serverState    `json:"cluster"`
+	Workload  string `json:"workload"`
+	Sustained bool   `json:"sustained,omitempty"`
+	Ops       int    `json:"ops"`
+	Records   int64  `json:"records"`
+	Servers   int    `json:"servers"`
+	// GoMaxProcs and NumCPU pin the parallelism the run actually had —
+	// single-core CI caps observable speedup (and group-commit
+	// batching) at 1×, so trajectory comparisons must be per-core.
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	NumCPU      int                `json:"num_cpu"`
+	Concurrency int                `json:"concurrency"`
+	Durable     bool               `json:"durable"`
+	WallSeconds float64            `json:"wall_seconds"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	OpsPerSec   float64            `json:"ops_per_sec"`
+	Completed   int64              `json:"completed"`
+	Errors      int64              `json:"errors"`
+	Transient   int64              `json:"transient,omitempty"`
+	PerOp       map[string]int64   `json:"per_op,omitempty"`
+	PerOpNs     map[string]float64 `json:"per_op_ns,omitempty"`
+	Engine      *engineState       `json:"engine,omitempty"`
+	Compaction  *compactionState   `json:"compaction,omitempty"`
+	Cluster     []serverState      `json:"cluster"`
+}
+
+// engineState summarizes kv engine counters (per server, and summed
+// cluster-wide at the top level).
+type engineState struct {
+	Flushes              int64   `json:"flushes"`
+	FlushedBytes         int64   `json:"flushed_bytes"`
+	Compactions          int64   `json:"compactions"`
+	CompactedBytes       int64   `json:"compacted_bytes"`
+	CompactionQueueDepth int64   `json:"compaction_queue_depth"`
+	StallMillis          float64 `json:"stall_ms"`
+	StalledWrites        int64   `json:"stalled_writes"`
+	WriteAmplification   float64 `json:"write_amplification"`
+}
+
+// compactionState summarizes a background compactor pool.
+type compactionState struct {
+	QueueDepth      int     `json:"queue_depth"`
+	Running         int     `json:"running"`
+	Compactions     int64   `json:"compactions"`
+	Conflicts       int64   `json:"conflicts"`
+	Failures        int64   `json:"failures"`
+	BytesIn         int64   `json:"bytes_in"`
+	BytesOut        int64   `json:"bytes_out"`
+	CompactionMs    float64 `json:"compaction_ms"`
+	BudgetWaitMs    float64 `json:"budget_wait_ms"`
+	ForegroundBytes int64   `json:"foreground_bytes"`
+	BackgroundBytes int64   `json:"background_bytes"`
 }
 
 // serverState is one region server's post-run engine state.
 type serverState struct {
-	Name     string  `json:"name"`
-	Regions  int     `json:"regions"`
-	Reads    int64   `json:"reads"`
-	Writes   int64   `json:"writes"`
-	Scans    int64   `json:"scans"`
-	Locality float64 `json:"locality"`
+	Name       string           `json:"name"`
+	Regions    int              `json:"regions"`
+	Reads      int64            `json:"reads"`
+	Writes     int64            `json:"writes"`
+	Scans      int64            `json:"scans"`
+	Locality   float64          `json:"locality"`
+	Engine     *engineState     `json:"engine,omitempty"`
+	Compaction *compactionState `json:"compaction,omitempty"`
+}
+
+// newEngineState converts a kv stats snapshot for the JSON report.
+func newEngineState(st kv.Stats) *engineState {
+	return &engineState{
+		Flushes:              st.Flushes,
+		FlushedBytes:         st.FlushedBytes,
+		Compactions:          st.Compactions,
+		CompactedBytes:       st.CompactedBytes,
+		CompactionQueueDepth: st.CompactionQueueDepth,
+		StallMillis:          float64(st.StallNanos) / 1e6,
+		StalledWrites:        st.StalledWrites,
+		WriteAmplification:   st.WriteAmplification,
+	}
+}
+
+// newCompactionState converts a pool snapshot for the JSON report.
+func newCompactionState(ps compaction.PoolStats) *compactionState {
+	return &compactionState{
+		QueueDepth:      ps.QueueDepth,
+		Running:         ps.Running,
+		Compactions:     ps.Compactions,
+		Conflicts:       ps.Conflicts,
+		Failures:        ps.Failures,
+		BytesIn:         ps.BytesIn,
+		BytesOut:        ps.BytesOut,
+		CompactionMs:    float64(ps.CompactionNanos) / 1e6,
+		BudgetWaitMs:    float64(ps.Budget.WaitNanos) / 1e6,
+		ForegroundBytes: ps.Budget.ForegroundBytes,
+		BackgroundBytes: ps.Budget.BackgroundBytes,
+	}
 }
 
 func main() {
@@ -75,17 +148,47 @@ func main() {
 	withMeT := flag.Bool("met", false, "attach the MeT controller during the run")
 	durableDir := flag.String("durable", "", "data directory: run region stores on the durable disk backend")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
+	sustained := flag.Bool("sustained", false,
+		"sustained write-heavy scenario: workload B (100% update), bigger values and a tiny heap so flushes, background compactions and write stalls actually happen during the run")
+	maxFiles := flag.Int("max-store-files", 0, "soft store-file threshold triggering background compaction (0 = default)")
+	stallFiles := flag.Int("stall-files", 0, "hard store-file ceiling stalling writers (0 = 3x soft threshold)")
+	compactPolicy := flag.String("compact-policy", "", "background compaction policy: tiered or leveled (default tiered)")
+	compactBudget := flag.Int64("compact-budget-mb", 0, "background compaction I/O budget in MB/s shared with serving (0 = unlimited)")
+	compactWorkers := flag.Int("compact-workers", 0, "compactor pool workers per server (0 = default 1, negative disables background compaction)")
 	flag.Parse()
 
 	cfg := hbase.DefaultServerConfig()
 	cfg.DataDir = *durableDir
+	cfg.Compaction = hbase.CompactionConfig{
+		MaxStoreFiles:     *maxFiles,
+		StallStoreFiles:   *stallFiles,
+		BudgetBytesPerSec: *compactBudget << 20,
+		Workers:           *compactWorkers,
+		Policy:            *compactPolicy,
+	}
+	if *sustained {
+		if *workload != "A" && *workload != "B" {
+			fmt.Fprintln(os.Stderr, "metbench: -sustained forces workload B")
+		}
+		*workload = "B"
+		// A 1 MiB heap puts the per-region flush threshold in the
+		// hundreds of KB, so a short run flushes dozens of files and
+		// the background compactor (not the write lock) has to keep
+		// the file count bounded.
+		cfg.HeapBytes = 1 << 20
+		if cfg.Compaction.MaxStoreFiles == 0 {
+			cfg.Compaction.MaxStoreFiles = 4
+		}
+		valueBytes = 512
+	}
 	cluster, err := met.NewClusterConfig(*servers, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	res := &result{
-		Workload: *workload, Ops: *ops, Records: *records,
+		Workload: *workload, Sustained: *sustained, Ops: *ops, Records: *records,
 		Servers: *servers, Concurrency: *concurrency, Durable: *durableDir != "",
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 	}
 	start := time.Now()
 	switch *workload {
@@ -109,16 +212,33 @@ func main() {
 
 	fmt.Printf("\nwall time: %v\n", elapsed.Round(time.Millisecond))
 	fmt.Println("cluster state:")
+	var engineTotal kv.Stats
+	var poolTotal compaction.PoolStats
 	for _, rs := range cluster.Master.Servers() {
 		req := rs.Requests()
+		eng := rs.EngineStats()
+		cs := rs.CompactionStats()
+		engineTotal = engineTotal.Add(eng)
+		poolTotal = poolTotal.Add(cs)
 		fmt.Printf("  %s: regions=%d reads=%d writes=%d scans=%d locality=%.2f [%s]\n",
 			rs.Name(), rs.NumRegions(), req.Reads, req.Writes, req.Scans, rs.Locality(), rs.Config())
+		fmt.Printf("    engine: flushes=%d compactions=%d queue=%d stall=%.1fms write-amp=%.2f\n",
+			eng.Flushes, eng.Compactions, eng.CompactionQueueDepth,
+			float64(eng.StallNanos)/1e6, eng.WriteAmplification)
 		res.Cluster = append(res.Cluster, serverState{
 			Name: rs.Name(), Regions: rs.NumRegions(),
 			Reads: req.Reads, Writes: req.Writes, Scans: req.Scans,
-			Locality: rs.Locality(),
+			Locality:   rs.Locality(),
+			Engine:     newEngineState(eng),
+			Compaction: newCompactionState(cs),
 		})
 	}
+	res.Engine = newEngineState(engineTotal)
+	res.Compaction = newCompactionState(poolTotal)
+	fmt.Printf("engine totals: flushes=%d compactions=%d compacted=%dKB stall=%.1fms write-amp=%.2f budget-wait=%.1fms\n",
+		engineTotal.Flushes, engineTotal.Compactions, engineTotal.CompactedBytes>>10,
+		float64(engineTotal.StallNanos)/1e6, engineTotal.WriteAmplification,
+		float64(poolTotal.Budget.WaitNanos)/1e6)
 	if *jsonOut != "" {
 		buf, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -141,12 +261,16 @@ func (r *result) finish(elapsed time.Duration) {
 	}
 }
 
+// valueBytes is the benchmark value size; the sustained scenario raises
+// it so a short run moves enough bytes to keep compaction busy.
+var valueBytes = 128
+
 // workloadSpec resolves a paper workload letter, sized for the bench.
 func workloadSpec(letter string, records int64) *ycsb.Workload {
 	for _, w := range ycsb.PaperWorkloads() {
 		if w.Name == letter {
 			w.RecordCount = records
-			w.FieldLengthBytes = 128
+			w.FieldLengthBytes = valueBytes
 			return &w
 		}
 	}
@@ -204,9 +328,12 @@ func runYCSB(cluster *met.Cluster, letter string, ops int, records int64, seed u
 	res.Completed = runner.TotalCompleted()
 	res.Errors = runner.Errors()
 	res.PerOp = make(map[string]int64)
+	res.PerOpNs = make(map[string]float64)
+	nanos := runner.OpNanos()
 	for op, n := range runner.Completed() {
-		fmt.Printf("  %-7s %d\n", op, n)
+		fmt.Printf("  %-7s %d (%.0f ns/op)\n", op, n, nanos[op])
 		res.PerOp[op.String()] = n
+		res.PerOpNs[op.String()] = nanos[op]
 	}
 	res.finish(elapsed)
 	if ctrl != nil {
@@ -242,9 +369,12 @@ func runYCSBParallel(cluster *met.Cluster, letter string, ops int, records int64
 	res.Errors = runner.Errors()
 	res.Transient = runner.Transient()
 	res.PerOp = make(map[string]int64)
+	res.PerOpNs = make(map[string]float64)
+	nanos := runner.OpNanos()
 	for op, n := range runner.Completed() {
-		fmt.Printf("  %-7s %d\n", op, n)
+		fmt.Printf("  %-7s %d (%.0f ns/op)\n", op, n, nanos[op])
 		res.PerOp[op.String()] = n
+		res.PerOpNs[op.String()] = nanos[op]
 	}
 	res.finish(elapsed)
 }

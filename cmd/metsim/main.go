@@ -13,15 +13,27 @@ import (
 	"os"
 
 	"met"
+	"met/internal/perfmodel"
 )
 
 func main() {
 	expName := flag.String("exp", "all", "experiment: fig1, fig4, table2, fig5, fig6, elasticity, all")
 	runs := flag.Int("runs", 5, "runs per strategy for fig1 (the paper uses 5)")
 	seed := flag.Uint64("seed", 1, "deterministic experiment seed")
+	calibrate := flag.String("calibrate", "",
+		"metbench BENCH_*.json artifact: override the performance model's cost constants with the measured durable fsync/SSTable costs before running")
 	flag.Parse()
 
 	out := os.Stdout
+	if *calibrate != "" {
+		cm, rep, err := perfmodel.CalibrateFromFile(perfmodel.DefaultCostModel(), *calibrate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metsim: calibrate: %v\n", err)
+			os.Exit(1)
+		}
+		perfmodel.SetDefaultCostModel(cm)
+		rep.Print(out)
+	}
 	switch *expName {
 	case "fig1":
 		met.RunFigure1(*runs, *seed).Print(out)

@@ -1,0 +1,121 @@
+package compaction
+
+import "met/internal/kv"
+
+// Policy decides which files of a store to merge. Plan receives the
+// current file stack, newest first (kv.Store.FileStats), and the soft
+// file-count threshold; it returns an empty selection when the store
+// needs no work. Selections must be contiguous runs of the stack — the
+// engine's CompactFiles contract.
+type Policy interface {
+	// Name identifies the policy ("tiered", "leveled").
+	Name() string
+	// Plan picks the next compaction for the given stack.
+	Plan(files []kv.FileStat, maxStoreFiles int) kv.CompactionSelection
+}
+
+// NewPolicy resolves a policy by name; empty means tiered (the engine's
+// historical behavior). Unknown names also fall back to tiered so a
+// typo degrades to the safe default instead of disabling compaction.
+func NewPolicy(name string) Policy {
+	if name == "leveled" {
+		return LeveledPolicy{}
+	}
+	return TieredPolicy{}
+}
+
+// TieredPolicy reproduces the engine's original inline behavior as a
+// background plan: once the stack exceeds maxStoreFiles, merge
+// everything into one file. Simple and maximally compacting, but each
+// compaction rewrites the store's full byte count — O(total bytes) of
+// I/O to reclaim one file slot.
+type TieredPolicy struct{}
+
+// Name implements Policy.
+func (TieredPolicy) Name() string { return "tiered" }
+
+// Plan implements Policy.
+func (TieredPolicy) Plan(files []kv.FileStat, maxStoreFiles int) kv.CompactionSelection {
+	if maxStoreFiles <= 0 || len(files) <= maxStoreFiles {
+		return kv.CompactionSelection{}
+	}
+	ids := make([]uint64, len(files))
+	for i, f := range files {
+		ids[i] = f.ID
+	}
+	return kv.CompactionSelection{IDs: ids}
+}
+
+// LeveledPolicy compacts incrementally: it merges the cheapest
+// contiguous run that brings the stack back under the threshold,
+// preferring runs whose key ranges overlap (that is where shadowed
+// versions, i.e. reclaimable bytes, live). Each compaction therefore
+// touches a subset of the store instead of rewriting it wholesale —
+// bounded I/O per compaction at the cost of leaving more, smaller files
+// between runs.
+type LeveledPolicy struct{}
+
+// Name implements Policy.
+func (LeveledPolicy) Name() string { return "leveled" }
+
+// Plan implements Policy: choose among all contiguous runs of the
+// minimal length that restores the threshold, scoring each run by total
+// bytes discounted by its key-range overlap, and picking the cheapest.
+// Ties break toward older files (larger start index), which mimics
+// HBase's preference for compacting the cold end of the stack.
+func (LeveledPolicy) Plan(files []kv.FileStat, maxStoreFiles int) kv.CompactionSelection {
+	if maxStoreFiles <= 0 || len(files) <= maxStoreFiles {
+		return kv.CompactionSelection{}
+	}
+	// Merging a run of length L replaces L files with 1: the minimal
+	// run that lands exactly on the threshold has length n - max + 1.
+	runLen := len(files) - maxStoreFiles + 1
+	bestStart, bestScore := -1, 0.0
+	for start := len(files) - runLen; start >= 0; start-- {
+		run := files[start : start+runLen]
+		if score := runScore(run); bestStart < 0 || score < bestScore {
+			bestStart, bestScore = start, score
+		}
+	}
+	ids := make([]uint64, runLen)
+	for i, f := range files[bestStart : bestStart+runLen] {
+		ids[i] = f.ID
+	}
+	return kv.CompactionSelection{IDs: ids}
+}
+
+// runScore is the estimated cost-effectiveness of merging a run: total
+// input bytes, discounted by up to 50% as the fraction of overlapping
+// file pairs grows. Overlapping inputs dedupe, so their merge both
+// shrinks the output and reclaims more space per byte read.
+func runScore(run []kv.FileStat) float64 {
+	var bytes int64
+	overlapping, pairs := 0, 0
+	for i, f := range run {
+		bytes += f.Bytes
+		for _, g := range run[i+1:] {
+			pairs++
+			if f.Overlaps(g) {
+				overlapping++
+			}
+		}
+	}
+	score := float64(bytes)
+	if pairs > 0 {
+		score *= 1 - 0.5*float64(overlapping)/float64(pairs)
+	}
+	return score
+}
+
+// Score ranks a store's compaction urgency for the pool's priority
+// queue: how far the stack is over the soft threshold, weighted so file
+// count dominates (each excess file adds a whole point) and total bytes
+// break ties (a GB adds one point). The pool adds queue-age on top so
+// starved stores eventually win.
+func Score(p kv.CompactionPressure, maxStoreFiles int) float64 {
+	score := float64(p.TotalBytes) / float64(1<<30)
+	if maxStoreFiles > 0 && p.NumFiles > maxStoreFiles {
+		score += float64(p.NumFiles - maxStoreFiles)
+	}
+	return score
+}

@@ -1,0 +1,155 @@
+package compaction
+
+import (
+	"reflect"
+	"testing"
+
+	"met/internal/kv"
+)
+
+// stack builds a newest-first FileStat stack from (id, bytes, minKey,
+// maxKey) tuples.
+func stack(files ...kv.FileStat) []kv.FileStat { return files }
+
+func fs(id uint64, bytes int64, minKey, maxKey string) kv.FileStat {
+	return kv.FileStat{ID: id, Bytes: bytes, Entries: 1, MinKey: minKey, MaxKey: maxKey}
+}
+
+func TestTieredPolicyUnderThresholdDoesNothing(t *testing.T) {
+	p := TieredPolicy{}
+	files := stack(fs(3, 10, "a", "b"), fs(2, 10, "a", "b"), fs(1, 10, "a", "b"))
+	if sel := p.Plan(files, 3); len(sel.IDs) != 0 {
+		t.Fatalf("plan at threshold = %+v, want empty", sel)
+	}
+	if sel := p.Plan(files, 8); len(sel.IDs) != 0 {
+		t.Fatalf("plan under threshold = %+v, want empty", sel)
+	}
+	if sel := p.Plan(files, -1); len(sel.IDs) != 0 {
+		t.Fatalf("plan with disabled threshold = %+v, want empty", sel)
+	}
+}
+
+func TestTieredPolicySelectsEverything(t *testing.T) {
+	p := TieredPolicy{}
+	files := stack(fs(4, 10, "a", "b"), fs(3, 10, "a", "b"), fs(2, 10, "a", "b"), fs(1, 10, "a", "b"))
+	sel := p.Plan(files, 3)
+	if want := []uint64{4, 3, 2, 1}; !reflect.DeepEqual(sel.IDs, want) {
+		t.Fatalf("tiered selection = %v, want %v", sel.IDs, want)
+	}
+	if sel.Major {
+		t.Fatal("automatic compactions are minor (tombstones kept)")
+	}
+}
+
+func TestLeveledPolicyPicksCheapestRun(t *testing.T) {
+	p := LeveledPolicy{}
+	// 5 files, threshold 4 => run length 2. The two small old files
+	// (ids 2,1) are the cheapest contiguous pair.
+	files := stack(
+		fs(5, 1000, "a", "z"),
+		fs(4, 900, "a", "z"),
+		fs(3, 800, "a", "z"),
+		fs(2, 10, "a", "z"),
+		fs(1, 10, "a", "z"),
+	)
+	sel := p.Plan(files, 4)
+	if want := []uint64{2, 1}; !reflect.DeepEqual(sel.IDs, want) {
+		t.Fatalf("leveled selection = %v, want the small old pair %v", sel.IDs, want)
+	}
+}
+
+func TestLeveledPolicyPrefersOverlappingRuns(t *testing.T) {
+	p := LeveledPolicy{}
+	// Equal bytes everywhere; the pair (3,2) overlaps ("m-r" vs "p-z")
+	// while (2,1) and (4,3) are disjoint from their neighbors. The
+	// overlap discount must win against the older-run tie-break.
+	files := stack(
+		fs(4, 100, "a", "f"),
+		fs(3, 100, "m", "r"),
+		fs(2, 100, "p", "z"),
+		fs(1, 100, "g", "l"),
+	)
+	sel := p.Plan(files, 3)
+	if want := []uint64{3, 2}; !reflect.DeepEqual(sel.IDs, want) {
+		t.Fatalf("leveled selection = %v, want the overlapping pair %v", sel.IDs, want)
+	}
+}
+
+func TestLeveledPolicyTieBreaksTowardOldFiles(t *testing.T) {
+	p := LeveledPolicy{}
+	// Identical bytes and ranges: every run scores the same; the oldest
+	// run must win deterministically.
+	files := stack(
+		fs(4, 100, "a", "z"),
+		fs(3, 100, "a", "z"),
+		fs(2, 100, "a", "z"),
+		fs(1, 100, "a", "z"),
+	)
+	sel := p.Plan(files, 3)
+	if want := []uint64{2, 1}; !reflect.DeepEqual(sel.IDs, want) {
+		t.Fatalf("leveled selection = %v, want oldest run %v", sel.IDs, want)
+	}
+	// Determinism: same input, same answer, every time.
+	for i := 0; i < 10; i++ {
+		if again := p.Plan(files, 3); !reflect.DeepEqual(again.IDs, sel.IDs) {
+			t.Fatalf("plan not deterministic: %v then %v", sel.IDs, again.IDs)
+		}
+	}
+}
+
+func TestLeveledRunLengthRestoresThreshold(t *testing.T) {
+	p := LeveledPolicy{}
+	// 8 files, threshold 4: merging the planned run (length 5) as one
+	// file leaves exactly 4.
+	var files []kv.FileStat
+	for id := 8; id >= 1; id-- {
+		files = append(files, fs(uint64(id), int64(id*10), "a", "z"))
+	}
+	sel := p.Plan(files, 4)
+	if got := len(sel.IDs); got != 5 {
+		t.Fatalf("run length = %d, want 5", got)
+	}
+}
+
+func TestScoreOrdersByPressure(t *testing.T) {
+	lo := Score(kv.CompactionPressure{NumFiles: 9, TotalBytes: 1 << 20}, 8)
+	hi := Score(kv.CompactionPressure{NumFiles: 15, TotalBytes: 1 << 20}, 8)
+	if hi <= lo {
+		t.Fatalf("more excess files must score higher: %v vs %v", hi, lo)
+	}
+	big := Score(kv.CompactionPressure{NumFiles: 9, TotalBytes: 1 << 30}, 8)
+	if big <= lo {
+		t.Fatalf("more bytes must score higher: %v vs %v", big, lo)
+	}
+}
+
+func TestNewPolicyResolution(t *testing.T) {
+	if NewPolicy("").Name() != "tiered" {
+		t.Fatal("default policy must be tiered")
+	}
+	if NewPolicy("leveled").Name() != "leveled" {
+		t.Fatal("leveled not resolved")
+	}
+	if NewPolicy("bogus").Name() != "tiered" {
+		t.Fatal("unknown names must degrade to tiered")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := fs(1, 1, "b", "f")
+	for _, tc := range []struct {
+		o    kv.FileStat
+		want bool
+	}{
+		{fs(2, 1, "a", "b"), true},  // touch at the edge
+		{fs(3, 1, "f", "z"), true},  // touch at the other edge
+		{fs(4, 1, "c", "d"), true},  // contained
+		{fs(5, 1, "g", "z"), false}, // disjoint above
+		{fs(6, 1, "a", "a"), false}, // disjoint below
+		{kv.FileStat{ID: 7}, false}, // empty file
+	} {
+		if got := a.Overlaps(tc.o); got != tc.want {
+			t.Fatalf("Overlaps(%q-%q, %q-%q) = %v, want %v", a.MinKey, a.MaxKey, tc.o.MinKey, tc.o.MaxKey, got, tc.want)
+		}
+	}
+}

@@ -110,9 +110,12 @@ func (a *FunctionalActuator) Apply(target []placement.NodeState) (ApplyReport, e
 		}
 		wantCfg := a.Profiles[ns.Type]
 		// Profiles carry only the paper's tuning knobs; the storage
-		// backend is a deployment property of the server, so a durable
-		// server stays durable across reprofiles.
+		// backend and the compaction subsystem are deployment properties
+		// of the server, so a durable server stays durable — and keeps
+		// its compaction policy, budget and thresholds — across
+		// reprofiles.
 		wantCfg.DataDir = rs.Config().DataDir
+		wantCfg.Compaction = rs.Config().Compaction
 		if !rs.Config().Equal(wantCfg) {
 			// Drain: move hosted regions to their target hosts if those
 			// hosts are up, otherwise to any other server, so data

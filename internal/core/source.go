@@ -55,6 +55,8 @@ func (s *ClusterSource) Observe(now sim.Time) ([]metrics.NodeObservation, []metr
 		if util > 1 {
 			util = 1
 		}
+		eng := rs.EngineStats()
+		cs := rs.CompactionStats()
 		nodes = append(nodes, metrics.NodeObservation{
 			At:   now,
 			Node: rs.Name(),
@@ -65,6 +67,13 @@ func (s *ClusterSource) Observe(now sim.Time) ([]metrics.NodeObservation, []metr
 			},
 			Requests: delta,
 			Locality: rs.Locality(),
+			Engine: metrics.EngineStats{
+				Flushes:              eng.Flushes,
+				Compactions:          eng.Compactions,
+				CompactionQueueDepth: eng.CompactionQueueDepth + int64(cs.Running),
+				StallNanos:           eng.StallNanos,
+				WriteAmplification:   eng.WriteAmplification,
+			},
 		})
 		for _, r := range rs.Regions() {
 			regions = append(regions, metrics.RegionObservation{

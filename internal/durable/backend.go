@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"met/internal/kv"
 )
@@ -24,6 +25,11 @@ type Backend struct {
 	mu      sync.Mutex
 	readers map[uint64]*sstable // every open reader, including unlinked ones
 	closed  bool
+
+	// Physical I/O accounting (see IOStats); WAL bytes are tracked by
+	// the WAL itself.
+	sstBytesWritten atomic.Int64
+	sstBytesRead    atomic.Int64
 }
 
 // Open creates (or reopens) a durable backend rooted at dir.
@@ -68,7 +74,7 @@ func (b *Backend) Create(id uint64, entries []kv.Entry, blockBytes int) (*kv.Sto
 	}
 	b.mu.Unlock()
 	path := b.sstPath(id)
-	if _, err := writeSSTable(path, entries, blockBytes, b.opts); err != nil {
+	if _, err := writeSSTable(path, entries, blockBytes, b.opts, &b.sstBytesWritten); err != nil {
 		return nil, fmt.Errorf("durable: write sstable %d: %w", id, err)
 	}
 	if err := syncDir(b.dir, b.opts.NoSync); err != nil {
@@ -83,6 +89,7 @@ func (b *Backend) openFile(id uint64, path string) (*kv.StoreFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("durable: open sstable %d: %w", id, err)
 	}
+	t.readBytes = &b.sstBytesRead
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -139,6 +146,16 @@ func (b *Backend) Load(blockBytes int) ([]*kv.StoreFile, error) {
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// IOStats snapshots the backend's physical I/O counters.
+func (b *Backend) IOStats() IOStats {
+	wal := b.wal.BytesAppended()
+	return IOStats{
+		BytesWritten: b.sstBytesWritten.Load() + wal,
+		BytesRead:    b.sstBytesRead.Load(),
+		WALBytes:     wal,
+	}
 }
 
 // Reader returns the open reader for file id (tests).

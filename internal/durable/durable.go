@@ -85,6 +85,14 @@ type Options struct {
 	// measure non-durability costs; a crash can lose acknowledged
 	// writes.
 	NoSync bool
+	// Account, when non-nil, receives the byte count of every
+	// foreground serving-path write the backend performs (WAL frames —
+	// bytes a client is actively waiting on). It feeds the I/O budget
+	// shared with background compaction, so compaction yields to
+	// serving; it must never block. Flush/compaction SSTable builds are
+	// accounted by the engine, which knows which of the two classes a
+	// build belongs to.
+	Account func(bytes int)
 }
 
 func (o Options) withDefaults() Options {

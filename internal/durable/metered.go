@@ -1,0 +1,56 @@
+package durable
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// IOStats snapshots a backend's physical I/O counters, so embedders can
+// observe real disk traffic (and compute write amplification) without
+// instrumenting the filesystem.
+type IOStats struct {
+	// BytesWritten is everything written through the backend: WAL
+	// frames plus SSTable builds (flushes and compactions).
+	BytesWritten int64
+	// BytesRead is data-block bytes physically read (cache misses and
+	// compaction reads).
+	BytesRead int64
+	// WALBytes is the WAL-append share of BytesWritten.
+	WALBytes int64
+}
+
+// meteredWriter wraps the backend's file writes with I/O accounting and
+// optional arbitration against a shared budget:
+//
+//   - count accumulates physical bytes for IOStats;
+//   - account (never blocks) charges foreground bytes to the shared
+//     compaction/serving budget so background work yields to them;
+//   - throttle (may block) rate-limits the write before it happens —
+//     the background side of the same budget.
+//
+// The WAL append path uses count+account (a client is waiting on the
+// fsync, so it must never block on compaction's budget); SSTable builds
+// use count and leave arbitration to the engine, which knows whether
+// the build is a foreground flush or a background compaction.
+type meteredWriter struct {
+	w        io.Writer
+	count    *atomic.Int64
+	account  func(bytes int)
+	throttle func(bytes int)
+}
+
+func (m meteredWriter) Write(p []byte) (int, error) {
+	if m.throttle != nil {
+		m.throttle(len(p))
+	}
+	n, err := m.w.Write(p)
+	if n > 0 {
+		if m.count != nil {
+			m.count.Add(int64(n))
+		}
+		if m.account != nil {
+			m.account(n)
+		}
+	}
+	return n, err
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"met/internal/kv"
 )
@@ -60,6 +61,11 @@ type WAL struct {
 	seq         uint64       // records buffered so far (monotonic)
 	syncs       int64        // commit-path sync rounds (group-commit batching metric)
 	closed      bool
+
+	// bytesAppended counts physical log bytes (frames + segment
+	// headers); appends also report to opts.Account for the shared
+	// foreground I/O budget.
+	bytesAppended atomic.Int64
 
 	committer committer
 }
@@ -127,7 +133,7 @@ func (w *WAL) openSegmentLocked(idx uint64) error {
 		return err
 	}
 	hdr := append([]byte(walMagic), walVersion)
-	if _, err := f.Write(hdr); err != nil {
+	if _, err := (meteredWriter{w: f, count: &w.bytesAppended}).Write(hdr); err != nil {
 		f.Close()
 		return err
 	}
@@ -234,7 +240,8 @@ func (w *WAL) AppendBuffered(e kv.Entry) (func() error, error) {
 			return nil, err
 		}
 	}
-	if _, err := w.active.Write(frame); err != nil {
+	out := meteredWriter{w: w.active, count: &w.bytesAppended, account: w.opts.Account}
+	if _, err := out.Write(frame); err != nil {
 		w.mu.Unlock()
 		return nil, err
 	}
@@ -451,6 +458,9 @@ func readSegment(path string, fn func(kv.Entry)) error {
 	}
 	return nil
 }
+
+// BytesAppended returns the physical bytes written to the log so far.
+func (w *WAL) BytesAppended() int64 { return w.bytesAppended.Load() }
 
 // SyncRounds returns how many commit-path sync rounds have run; with N
 // concurrent writers it stays well below N appends (group commit).

@@ -13,6 +13,14 @@
 // matching the HBase limitation the paper identifies as the dominant
 // actuation cost.
 //
+// Each server also owns a background compaction pool
+// (met/internal/compaction) shared across its regions: flushes enqueue
+// over-threshold stores, MajorCompact (the MeT actuator's operation)
+// enters the same queue at high priority, and all compaction I/O is
+// rate-limited by a token-bucket budget shared with the serving path —
+// so maintenance never runs under a store's write lock and never
+// starves foreground fsyncs.
+//
 // # Concurrency model
 //
 // The serving path is concurrent end to end: any number of goroutines
@@ -61,6 +69,66 @@ type ServerConfig struct {
 	// Empty (the default) keeps stores in memory, as the paper's
 	// simulated experiments do.
 	DataDir string
+	// Compaction tunes the server-wide background compaction subsystem
+	// (met/internal/compaction). Like DataDir it is a deployment
+	// property, not a paper tuning knob: the Actuator carries it across
+	// profile changes unchanged. The zero value means defaults.
+	Compaction CompactionConfig
+}
+
+// CompactionConfig exposes the background compaction knobs through the
+// server configuration instead of hard-coded kv.Config defaults. All
+// zero values select defaults; explicit negatives disable.
+type CompactionConfig struct {
+	// MaxStoreFiles is the per-store soft threshold: a flush that
+	// leaves more files than this enqueues the store for background
+	// compaction. 0 defaults to 8 (the engine default); negative
+	// disables automatic compaction.
+	MaxStoreFiles int
+	// StallStoreFiles is the hard ceiling at which writers stall until
+	// compaction catches up (HBase's blockingStoreFiles). 0 defaults to
+	// 3×MaxStoreFiles; negative disables stalling.
+	StallStoreFiles int
+	// BudgetBytesPerSec rate-limits background compaction I/O through
+	// the token-bucket budget shared with the serving path. 0 means
+	// unlimited.
+	BudgetBytesPerSec int64
+	// Workers is the compactor pool size. 0 defaults to 1; negative
+	// disables the pool entirely, reverting stores to the legacy
+	// inline-compaction-at-flush behavior.
+	Workers int
+	// Policy selects the file-selection policy: "tiered" (merge
+	// everything over the threshold — the engine's historical behavior,
+	// and the default) or "leveled" (incremental merges of the
+	// cheapest overlapping run).
+	Policy string
+}
+
+// Validate checks the compaction knobs. The stall ceiling must sit
+// above the *effective* soft threshold (0 means the engine default of
+// 8): a ceiling at or below it would park writers on a gate that no
+// compaction is ever queued to release.
+func (c CompactionConfig) Validate() error {
+	switch c.Policy {
+	case "", "tiered", "leveled":
+	default:
+		return fmt.Errorf("hbase: unknown compaction policy %q", c.Policy)
+	}
+	if c.StallStoreFiles > 0 {
+		if c.MaxStoreFiles < 0 {
+			return fmt.Errorf("hbase: stall ceiling %d with automatic compaction disabled would wedge writers",
+				c.StallStoreFiles)
+		}
+		soft := c.MaxStoreFiles
+		if soft == 0 {
+			soft = 8 // the engine default the zero value resolves to
+		}
+		if c.StallStoreFiles <= soft {
+			return fmt.Errorf("hbase: stall ceiling %d must exceed the soft threshold %d",
+				c.StallStoreFiles, soft)
+		}
+	}
+	return nil
 }
 
 // DefaultServerConfig mirrors an out-of-the-box tuned HBase node per the
@@ -94,7 +162,7 @@ func (c ServerConfig) Validate() error {
 	if c.Handlers <= 0 {
 		return fmt.Errorf("hbase: non-positive handler count %d", c.Handlers)
 	}
-	return nil
+	return c.Compaction.Validate()
 }
 
 // BlockCacheBytes returns the absolute block cache capacity.

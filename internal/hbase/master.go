@@ -171,7 +171,7 @@ func (m *Master) DecommissionServer(name string) error {
 		m.moves++
 		m.mu.Unlock()
 	}
-	rs.Stop()
+	rs.Shutdown() // stop serving and drain the background compactor
 	m.namenode.RemoveDatanode(name)
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"met/internal/compaction"
 	"met/internal/durable"
 	"met/internal/hdfs"
 	"met/internal/kv"
@@ -52,6 +53,12 @@ type RegionServer struct {
 	requests metrics.AtomicCounts
 	running  bool
 	restarts int
+
+	// compactor is the server-wide background compaction pool shared by
+	// every hosted region's store (HBase's per-server compaction
+	// threads). Nil when ServerConfig.Compaction.Workers < 0, which
+	// reverts stores to inline compaction at flush time.
+	compactor *compaction.Pool
 }
 
 // NewRegionServer creates a running server and registers its co-located
@@ -61,7 +68,7 @@ func NewRegionServer(name string, cfg ServerConfig, nn *hdfs.Namenode) (*RegionS
 		return nil, err
 	}
 	nn.AddDatanode(name)
-	return &RegionServer{
+	s := &RegionServer{
 		name:     name,
 		cfg:      cfg,
 		namenode: nn,
@@ -69,7 +76,43 @@ func NewRegionServer(name string, cfg ServerConfig, nn *hdfs.Namenode) (*RegionS
 		index:    make(map[string][]*Region),
 		cache:    kv.NewBlockCache(int(cfg.BlockCacheBytes())),
 		running:  true,
-	}, nil
+	}
+	s.compactor = newCompactorPool(cfg.Compaction, s)
+	return s, nil
+}
+
+// newCompactorPool builds the server-wide pool from the configured
+// knobs; nil (disabled) when Workers < 0. Completed background
+// compactions reconcile the owning region's HDFS mirror, so the
+// namenode's view tracks the engine's even when no Put is flowing.
+func newCompactorPool(cc CompactionConfig, s *RegionServer) *compaction.Pool {
+	if cc.Workers < 0 {
+		return nil
+	}
+	return compaction.NewPool(compaction.Config{
+		Workers:           cc.Workers,
+		BudgetBytesPerSec: cc.BudgetBytesPerSec,
+		Policy:            compaction.NewPolicy(cc.Policy),
+		MaxStoreFiles:     cc.MaxStoreFiles,
+		OnCompacted: func(store *kv.Store, _ kv.CompactionResult) {
+			if r := s.regionOfStore(store); r != nil {
+				s.mirrorSync(r)
+			}
+		},
+	})
+}
+
+// regionOfStore finds the hosted region currently backed by store, or
+// nil (the store was retired by a restart, split or move).
+func (s *RegionServer) regionOfStore(store *kv.Store) *Region {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r := range s.regions {
+		if r.Store() == store {
+			return r
+		}
+	}
+	return nil
 }
 
 // Name returns the server's identity (also its datanode name).
@@ -123,9 +166,22 @@ func (s *RegionServer) storeConfigFor(regionName string, numRegions int) kv.Conf
 		BlockBytes:         s.cfg.BlockBytes,
 		Cache:              s.cache,
 		Seed:               uint64(len(s.name)) + uint64(numRegions),
+		MaxStoreFiles:      s.cfg.Compaction.MaxStoreFiles,
+	}
+	var opts durable.Options
+	if s.compactor != nil {
+		// Background compaction: the store asks the shared pool for
+		// service instead of compacting inline under its write lock,
+		// stalls writers at the hard ceiling, and shares one I/O budget
+		// with the pool — into which the durable WAL accounts its
+		// foreground bytes.
+		cfg.Compactor = s.compactor
+		cfg.HardMaxStoreFiles = s.cfg.Compaction.StallStoreFiles
+		cfg.CompactionBudget = s.compactor.Budget()
+		opts.Account = s.compactor.Budget().NoteForeground
 	}
 	if s.cfg.DataDir != "" {
-		cfg.OpenBackend = durable.Opener(regionDataDir(s.cfg.DataDir, regionName), durable.Options{})
+		cfg.OpenBackend = durable.Opener(regionDataDir(s.cfg.DataDir, regionName), opts)
 	}
 	return cfg
 }
@@ -289,9 +345,17 @@ func (s *RegionServer) mirrorSync(r *Region) {
 // server, restoring locality — exactly what MeT's Actuator invokes when
 // the locality index falls below its threshold. It returns the number of
 // bytes rewritten (the paper charges ~1 minute per GB for this).
+//
+// The request routes through the server's background compaction queue at
+// high priority: the caller still blocks until the rewrite completes
+// (the actuator's contract), but the merge I/O runs on a pool worker
+// under the shared I/O budget, off the store write lock, so serving
+// continues throughout. With the pool disabled it falls back to calling
+// the engine directly (same locking profile — CompactFiles either way).
 func (s *RegionServer) MajorCompact(regionName string) (int64, error) {
 	s.mu.RLock()
 	r, ok := s.regions[regionName]
+	pool := s.compactor
 	s.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("hbase: major compact: region %q not hosted on %s", regionName, s.name)
@@ -301,7 +365,15 @@ func (s *RegionServer) MajorCompact(regionName string) (int64, error) {
 	for _, fi := range store.FileInfos() {
 		inBytes += fi.Bytes
 	}
-	if err := store.Compact(true); err != nil {
+	var err error
+	if pool != nil {
+		if err = pool.CompactWait(store); errors.Is(err, compaction.ErrPoolClosed) {
+			err = store.Compact(true)
+		}
+	} else {
+		err = store.Compact(true)
+	}
+	if err != nil {
 		return 0, fmt.Errorf("hbase: major compact %s: %w", regionName, err)
 	}
 	// Reconcile the mirror against the post-compaction stack in one
@@ -339,6 +411,50 @@ func (s *RegionServer) Requests() metrics.RequestCounts {
 	return s.requests.Snapshot()
 }
 
+// EngineStats aggregates the kv engine counters (flushes, compactions,
+// write amplification, stall time, queue depth, ...) across every
+// hosted region's store.
+func (s *RegionServer) EngineStats() kv.Stats {
+	var total kv.Stats
+	for _, r := range s.Regions() {
+		total = total.Add(r.Store().Stats())
+	}
+	return total
+}
+
+// CompactionStats snapshots the server's background compactor (zero
+// value when the pool is disabled).
+func (s *RegionServer) CompactionStats() compaction.PoolStats {
+	s.mu.RLock()
+	pool := s.compactor
+	s.mu.RUnlock()
+	if pool == nil {
+		return compaction.PoolStats{}
+	}
+	return pool.Stats()
+}
+
+// Compactor exposes the background pool (tests; nil when disabled).
+func (s *RegionServer) Compactor() *compaction.Pool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.compactor
+}
+
+// Shutdown stops the server permanently: serving stops and the
+// background compactor drains. Decommissioning calls this; a plain Stop
+// (reconfiguration restart) keeps the pool alive.
+func (s *RegionServer) Shutdown() {
+	s.mu.Lock()
+	s.running = false
+	pool := s.compactor
+	s.compactor = nil
+	s.mu.Unlock()
+	if pool != nil {
+		pool.Close()
+	}
+}
+
 // Stop takes the server offline (requests fail until Start).
 func (s *RegionServer) Stop() {
 	s.mu.Lock()
@@ -364,14 +480,25 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 	}
 	s.mu.Lock()
 	s.running = false
+	oldCompaction := s.cfg.Compaction
+	oldPool := s.compactor
 	s.cfg = cfg
 	s.cache = kv.NewBlockCache(int(cfg.BlockCacheBytes()))
+	if cfg.Compaction != oldCompaction {
+		// New compaction knobs take effect like any other restart-only
+		// HBase setting: the old pool drains and a fresh one (new
+		// budget, policy, workers) serves the reopened stores.
+		s.compactor = newCompactorPool(cfg.Compaction, s)
+	}
 	regions := make([]*Region, 0, len(s.regions))
 	for _, r := range s.regions {
 		regions = append(regions, r)
 	}
 	n := len(regions)
 	s.mu.Unlock()
+	if cfg.Compaction != oldCompaction && oldPool != nil {
+		oldPool.Close()
+	}
 
 	sort.Slice(regions, func(i, j int) bool { return regions[i].Name() < regions[j].Name() })
 	var errs []error

@@ -1,8 +1,8 @@
 // Package kv implements the storage engine underlying the simulated HBase
 // region server: an LSM-style store with an in-memory memstore
 // (skiplist), immutable block-organized store files, an LRU block cache
-// with byte accounting, a write-ahead log, background-free flush and
-// major compaction, and merged iterators for scans.
+// with byte accounting, a write-ahead log, flushes, minor/major
+// compactions, and merged iterators for scans.
 //
 // The engine mirrors the knobs the paper tunes per node profile:
 //
@@ -30,18 +30,34 @@
 // A Store is safe for concurrent use by any number of goroutines. Its
 // reader/writer lock lets Gets proceed in parallel over the immutable
 // store-file stack and the memstore, while Puts, Deletes, flushes,
-// compactions, Recover and Close serialize as exclusive writers. Scan
-// holds the read lock only long enough to snapshot the memstore pointer
-// and the file stack, then iterates lock-free: store files are
-// immutable, the file stack is replaced rather than mutated, and the
-// memstore skiplist publishes nodes through atomic pointers, so a long
-// scan never stalls the write path. The BlockCache is internally locked
-// (every lookup mutates LRU recency) and may be shared across stores;
-// the engine counters behind Stats are atomics. Lock ordering is
-// Store.mu before BlockCache.mu — the cache never calls back into a
-// store, so the order cannot invert. With a group-commit WAL, writers
-// append and apply under the write lock but wait for the shared fsync
-// outside it, so concurrent writers batch their durability cost.
+// Recover and Close serialize as exclusive writers. Scan holds the read
+// lock only long enough to snapshot the memstore pointer and the file
+// stack, then iterates lock-free: store files are immutable, the file
+// stack is replaced rather than mutated, and the memstore skiplist
+// publishes nodes through atomic pointers, so a long scan never stalls
+// the write path. The BlockCache is internally locked (every lookup
+// mutates LRU recency) and may be shared across stores; the engine
+// counters behind Stats are atomics. Lock ordering is Store.mu before
+// BlockCache.mu — the cache never calls back into a store, so the order
+// cannot invert. With a group-commit WAL, writers append and apply
+// under the write lock but wait for the shared fsync outside it, so
+// concurrent writers batch their durability cost.
+//
+// # Background compaction
+//
+// Compaction I/O never runs under the store write lock. CompactFiles
+// merges a selected contiguous run of files in three phases — snapshot
+// under a brief read lock, merge and persist with no lock held
+// (rate-limited by a shared IOBudget), splice under a brief write lock
+// — so Gets, Puts and Scans proceed throughout a compaction. With
+// Config.Compactor set, a flush that pushes the file count over
+// MaxStoreFiles fires the trigger (outside all locks) and a scheduler
+// (met/internal/compaction) plans and executes CompactFiles on worker
+// goroutines; at Config.HardMaxStoreFiles writers stall — outside the
+// locks, bounded by StallTimeout, accounted in Stats.StallNanos — until
+// compaction catches up. Without a Compactor the engine keeps its
+// legacy behavior: flushes compact inline under the write lock, which
+// the pure-simulation layers still use.
 package kv
 
 import (
@@ -111,6 +127,28 @@ type Stats struct {
 	BlocksRead      int64
 	FilterNegatives int64 // Gets answered "absent" by a file filter, no block read
 	MemstoreCurrent int64
+
+	// UserBytes is the logical payload written by Put/Delete/Import —
+	// the denominator of write amplification.
+	UserBytes int64
+	// CompactionBytesWritten is the total size of files produced by
+	// compactions (minor and major).
+	CompactionBytesWritten int64
+	// StallNanos is the cumulative time writers spent blocked on the
+	// hard store-file ceiling waiting for background compaction to
+	// catch up. Reported, never hidden: a stalled serving path shows up
+	// here rather than as unexplained latency.
+	StallNanos int64
+	// StalledWrites counts mutations that hit the stall path at all.
+	StalledWrites int64
+	// CompactionQueueDepth is the number of compaction requests for
+	// this store currently sitting in a scheduler queue (a gauge, not
+	// cumulative; typically 0 or 1 because schedulers coalesce).
+	CompactionQueueDepth int64
+	// WriteAmplification is (FlushedBytes + CompactionBytesWritten) /
+	// UserBytes — how many bytes the engine wrote per logical byte the
+	// user wrote. Zero until the first flush.
+	WriteAmplification float64
 }
 
 // CacheHitRatio returns hits/(hits+misses), or 0 with no lookups.
@@ -120,4 +158,35 @@ func (s Stats) CacheHitRatio() float64 {
 		return 0
 	}
 	return float64(s.CacheHits) / float64(total)
+}
+
+// Add returns the element-wise sum of two stats snapshots; embedders use
+// it to aggregate per-store stats to a server-wide view. The derived
+// WriteAmplification is recomputed from the summed byte counters.
+func (s Stats) Add(o Stats) Stats {
+	out := Stats{
+		Gets:                   s.Gets + o.Gets,
+		Puts:                   s.Puts + o.Puts,
+		Deletes:                s.Deletes + o.Deletes,
+		Scans:                  s.Scans + o.Scans,
+		ScannedEntries:         s.ScannedEntries + o.ScannedEntries,
+		CacheHits:              s.CacheHits + o.CacheHits,
+		CacheMisses:            s.CacheMisses + o.CacheMisses,
+		Flushes:                s.Flushes + o.Flushes,
+		FlushedBytes:           s.FlushedBytes + o.FlushedBytes,
+		Compactions:            s.Compactions + o.Compactions,
+		CompactedBytes:         s.CompactedBytes + o.CompactedBytes,
+		BlocksRead:             s.BlocksRead + o.BlocksRead,
+		FilterNegatives:        s.FilterNegatives + o.FilterNegatives,
+		MemstoreCurrent:        s.MemstoreCurrent + o.MemstoreCurrent,
+		UserBytes:              s.UserBytes + o.UserBytes,
+		CompactionBytesWritten: s.CompactionBytesWritten + o.CompactionBytesWritten,
+		StallNanos:             s.StallNanos + o.StallNanos,
+		StalledWrites:          s.StalledWrites + o.StalledWrites,
+		CompactionQueueDepth:   s.CompactionQueueDepth + o.CompactionQueueDepth,
+	}
+	if out.UserBytes > 0 {
+		out.WriteAmplification = float64(out.FlushedBytes+out.CompactionBytesWritten) / float64(out.UserBytes)
+	}
+	return out
 }

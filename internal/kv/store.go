@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // fileIDCounter mints store-file IDs that are unique process-wide, so
@@ -79,6 +80,27 @@ type Config struct {
 	// from BlockCacheBytes. A region server shares one cache across all
 	// of its regions' stores, as HBase does.
 	Cache *BlockCache
+
+	// Compactor, when set, takes over compaction: flushes never compact
+	// inline (and never do compaction I/O under the write lock); when a
+	// flush pushes the file count over MaxStoreFiles the trigger is
+	// fired outside the engine locks and the scheduler is expected to
+	// call CompactFiles. Nil keeps the legacy inline behavior the
+	// simulation layer uses.
+	Compactor CompactionTrigger
+	// HardMaxStoreFiles is the file count at which writers stall until
+	// background compaction catches up (HBase's blockingStoreFiles).
+	// Only meaningful with a Compactor; 0 defaults to 3×MaxStoreFiles,
+	// negative disables stalling.
+	HardMaxStoreFiles int
+	// StallTimeout bounds a single write's stall; past it the write
+	// proceeds and the file count grows unbounded (reported via
+	// Stats.StallNanos either way). 0 defaults to 10s.
+	StallTimeout time.Duration
+	// CompactionBudget, when set, rate-limits CompactFiles I/O and
+	// receives foreground accounting from flushes, so compaction and
+	// serving share one disk-bandwidth budget.
+	CompactionBudget IOBudget
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +118,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxStoreFiles == 0 {
 		c.MaxStoreFiles = 8
 	}
+	// The stall ceiling is only safe when every stall has a compaction
+	// request pending to release it: automatic compaction must be on,
+	// and the ceiling must sit above the trigger threshold. Incoherent
+	// combinations are normalized rather than left to wedge writers.
+	if c.MaxStoreFiles < 0 {
+		c.HardMaxStoreFiles = -1
+	} else if c.HardMaxStoreFiles == 0 {
+		c.HardMaxStoreFiles = 3 * c.MaxStoreFiles
+	} else if c.HardMaxStoreFiles > 0 && c.HardMaxStoreFiles <= c.MaxStoreFiles {
+		c.HardMaxStoreFiles = c.MaxStoreFiles + 1
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = 10 * time.Second
+	}
 	return c
 }
 
@@ -111,24 +147,38 @@ type storeStats struct {
 	compactedBytes         atomic.Int64
 	blocksRead             atomic.Int64
 	filterNegatives        atomic.Int64
+	userBytes              atomic.Int64
+	compactionBytesWritten atomic.Int64
+	stallNanos             atomic.Int64
+	stalledWrites          atomic.Int64
+	compactionQueued       atomic.Int64
 }
 
 func (st *storeStats) snapshot() Stats {
-	return Stats{
-		Gets:            st.gets.Load(),
-		Puts:            st.puts.Load(),
-		Deletes:         st.deletes.Load(),
-		Scans:           st.scans.Load(),
-		ScannedEntries:  st.scannedEntries.Load(),
-		CacheHits:       st.cacheHits.Load(),
-		CacheMisses:     st.cacheMisses.Load(),
-		Flushes:         st.flushes.Load(),
-		FlushedBytes:    st.flushedBytes.Load(),
-		Compactions:     st.compactions.Load(),
-		CompactedBytes:  st.compactedBytes.Load(),
-		BlocksRead:      st.blocksRead.Load(),
-		FilterNegatives: st.filterNegatives.Load(),
+	s := Stats{
+		Gets:                   st.gets.Load(),
+		Puts:                   st.puts.Load(),
+		Deletes:                st.deletes.Load(),
+		Scans:                  st.scans.Load(),
+		ScannedEntries:         st.scannedEntries.Load(),
+		CacheHits:              st.cacheHits.Load(),
+		CacheMisses:            st.cacheMisses.Load(),
+		Flushes:                st.flushes.Load(),
+		FlushedBytes:           st.flushedBytes.Load(),
+		Compactions:            st.compactions.Load(),
+		CompactedBytes:         st.compactedBytes.Load(),
+		BlocksRead:             st.blocksRead.Load(),
+		FilterNegatives:        st.filterNegatives.Load(),
+		UserBytes:              st.userBytes.Load(),
+		CompactionBytesWritten: st.compactionBytesWritten.Load(),
+		StallNanos:             st.stallNanos.Load(),
+		StalledWrites:          st.stalledWrites.Load(),
+		CompactionQueueDepth:   st.compactionQueued.Load(),
 	}
+	if s.UserBytes > 0 {
+		s.WriteAmplification = float64(s.FlushedBytes+s.CompactionBytesWritten) / float64(s.UserBytes)
+	}
+	return s
 }
 
 // Store is the LSM engine: one memstore plus a stack of immutable store
@@ -178,6 +228,17 @@ type Store struct {
 	activeScans atomic.Int64
 	retiredMu   sync.Mutex
 	retired     []uint64
+
+	// Background compaction state (see compaction.go). compactMu
+	// serializes CompactFiles calls so at most one merge is in flight
+	// per store; compactionWanted latches "a flush crossed the soft
+	// threshold" under the write lock for the trigger fired after it is
+	// released; stallMu+stallGate park writers at the hard file-count
+	// ceiling until a compaction shrinks the stack.
+	compactMu        sync.Mutex
+	compactionWanted atomic.Bool
+	stallMu          sync.Mutex
+	stallGate        chan struct{}
 }
 
 // NewStore creates an empty in-memory store with the given configuration.
@@ -242,6 +303,14 @@ func OpenStore(cfg Config) (*Store, error) {
 			s.recovered++
 		}
 	}
+	// A recovered stack can already be over the compaction threshold
+	// (crash during a backlog); ask for service now rather than letting
+	// the first post-recovery write stall at the hard ceiling waiting
+	// for a compaction nobody queued.
+	if s.cfg.MaxStoreFiles > 0 && len(s.files) > s.cfg.MaxStoreFiles {
+		s.compactionWanted.Store(true)
+	}
+	s.maybeTriggerCompaction()
 	return s, nil
 }
 
@@ -273,7 +342,11 @@ func (s *Store) nextTimestamp() uint64 {
 // mutate is the shared Put/Delete path: log, apply to the memstore, and
 // flush if over threshold, all under the write lock; then — outside the
 // lock — wait for the WAL record to be durable before acknowledging.
+// With a background compactor the write first passes the stall gate
+// (file-count backpressure) and afterwards fires the compaction trigger,
+// both outside the lock.
 func (s *Store) mutate(e Entry, counter *atomic.Int64) error {
+	s.maybeStall()
 	s.mu.Lock()
 	if s.closed || s.sealed {
 		s.mu.Unlock()
@@ -296,11 +369,13 @@ func (s *Store) mutate(e Entry, counter *atomic.Int64) error {
 	}
 	s.mem.Add(e)
 	counter.Add(1)
+	s.stats.userBytes.Add(int64(e.Size()))
 	var flushErr error
 	if s.mem.Bytes() >= s.cfg.MemstoreFlushBytes {
 		flushErr = s.flushLocked()
 	}
 	s.mu.Unlock()
+	s.maybeTriggerCompaction()
 	if commit != nil {
 		if err := commit(); err != nil {
 			return fmt.Errorf("kv: wal sync: %w", err)
@@ -330,6 +405,7 @@ func (s *Store) Delete(key string) error {
 // of one per entry. Entries are re-timestamped in order, so they shadow
 // nothing newer than themselves.
 func (s *Store) ImportEntries(entries []Entry) error {
+	s.maybeStall()
 	s.mu.Lock()
 	if s.closed || s.sealed {
 		s.mu.Unlock()
@@ -359,12 +435,14 @@ func (s *Store) ImportEntries(entries []Entry) error {
 		}
 		s.mem.Add(ne)
 		s.stats.puts.Add(1)
+		s.stats.userBytes.Add(int64(ne.Size()))
 	}
 	var flushErr error
 	if s.mem.Bytes() >= s.cfg.MemstoreFlushBytes {
 		flushErr = s.flushLocked()
 	}
 	s.mu.Unlock()
+	s.maybeTriggerCompaction()
 	if commit != nil {
 		if err := commit(); err != nil {
 			return fmt.Errorf("kv: wal sync: %w", err)
@@ -457,8 +535,10 @@ func (s *Store) Scan(start, end string, limit int) ([]Entry, error) {
 // Flush forces the memstore to a new store file.
 func (s *Store) Flush() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.flushLocked()
+	err := s.flushLocked()
+	s.mu.Unlock()
+	s.maybeTriggerCompaction()
+	return err
 }
 
 func (s *Store) flushLocked() error {
@@ -480,12 +560,24 @@ func (s *Store) flushLocked() error {
 	s.files = append([]*StoreFile{f}, s.files...)
 	s.stats.flushes.Add(1)
 	s.stats.flushedBytes.Add(int64(f.Bytes()))
+	if s.cfg.CompactionBudget != nil {
+		// Flush I/O is foreground: it is accounted against the shared
+		// budget (so compaction yields to it) but never blocked.
+		s.cfg.CompactionBudget.NoteForeground(f.Bytes())
+	}
 	s.mem = NewMemstore(s.cfg.Seed + f.ID())
 	if s.cfg.WAL != nil {
 		s.cfg.WAL.Truncate(maxTS)
 	}
 	if s.cfg.MaxStoreFiles > 0 && len(s.files) > s.cfg.MaxStoreFiles {
-		return s.compactLocked(false)
+		if s.cfg.Compactor == nil {
+			// Legacy inline path (simulation backend): compact under
+			// the write lock, as before background compaction existed.
+			return s.compactLocked(false)
+		}
+		// Background path: latch the request; the trigger fires once
+		// the caller has released the write lock.
+		s.compactionWanted.Store(true)
 	}
 	return nil
 }
@@ -501,11 +593,27 @@ func (s *Store) createFile(id uint64, entries []Entry) (*StoreFile, error) {
 // Compact merges every store file (and nothing from the memstore) into a
 // single file. With major=true, tombstones and shadowed versions are
 // dropped — HBase's "major compact", the operation MeT issues to restore
-// data locality after moving regions.
+// data locality after moving regions. The merge I/O runs outside the
+// store locks (CompactFiles), so reads and writes proceed throughout; a
+// flush that lands mid-compaction simply stays as its own file until the
+// next compaction. The rare conflict with the legacy inline path is
+// absorbed by re-planning against the fresh stack.
 func (s *Store) Compact(major bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.compactLocked(major)
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	for attempt := 0; ; attempt++ {
+		s.mu.RLock()
+		n := len(s.files)
+		s.mu.RUnlock()
+		if n == 0 || (n <= 1 && !major) {
+			return nil
+		}
+		_, err := s.compactFilesLocked(CompactionSelection{Major: major})
+		if err == ErrCompactionConflict && attempt < 3 {
+			continue
+		}
+		return err
+	}
 }
 
 func (s *Store) compactLocked(major bool) error {
@@ -548,6 +656,8 @@ func (s *Store) compactLocked(major bool) error {
 	s.drainRetired(false)
 	s.stats.compactions.Add(1)
 	s.stats.compactedBytes.Add(int64(inBytes))
+	s.stats.compactionBytesWritten.Add(int64(merged.Bytes()))
+	s.releaseStall()
 	return nil
 }
 
@@ -652,8 +762,11 @@ func (s *Store) Recover() int {
 // it, and is therefore visible to the migration's Scan.
 func (s *Store) Seal() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.sealed = true
+	s.mu.Unlock()
+	// A stalled writer must observe the seal and fail rather than wait
+	// out its full stall timeout against a store being migrated.
+	s.releaseStall()
 }
 
 // Unseal re-enables mutations on a sealed store; an aborted migration
@@ -669,8 +782,8 @@ func (s *Store) Unseal() {
 // store must be closed before its directory is reopened.
 func (s *Store) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.closed = true
@@ -678,4 +791,6 @@ func (s *Store) Close() {
 		s.drainRetired(true)
 		_ = s.backend.Close()
 	}
+	s.mu.Unlock()
+	s.releaseStall()
 }

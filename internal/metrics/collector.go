@@ -36,6 +36,24 @@ func (c RequestCounts) Sub(o RequestCounts) RequestCounts {
 	return RequestCounts{Reads: c.Reads - o.Reads, Writes: c.Writes - o.Writes, Scans: c.Scans - o.Scans}
 }
 
+// EngineStats carries per-node storage-engine health counters — the
+// compaction-era metrics the JMX exporter would surface alongside the
+// request counts: write-path backpressure (stall time), write
+// amplification, and how far background compaction is behind.
+type EngineStats struct {
+	// Flushes and Compactions are cumulative engine events.
+	Flushes     int64
+	Compactions int64
+	// CompactionQueueDepth is the number of compaction requests queued
+	// for this node's stores right now (a gauge).
+	CompactionQueueDepth int64
+	// StallNanos is cumulative writer time spent blocked at the hard
+	// store-file ceiling.
+	StallNanos int64
+	// WriteAmplification is physical bytes written per logical byte.
+	WriteAmplification float64
+}
+
 // NodeObservation is one monitoring sample for one node.
 type NodeObservation struct {
 	At       sim.Time
@@ -43,6 +61,7 @@ type NodeObservation struct {
 	System   SystemMetrics
 	Requests RequestCounts // delta over the sampling interval
 	Locality float64       // fraction of served data stored locally, 0..1
+	Engine   EngineStats   // cumulative engine counters (functional layer)
 }
 
 // RegionObservation is one monitoring sample for one data partition.

@@ -75,10 +75,11 @@ type Model struct {
 	Workloads []*WorkloadPerf
 }
 
-// NewModel returns an empty model with default costs.
+// NewModel returns an empty model with default costs (or the calibrated
+// override installed by SetDefaultCostModel).
 func NewModel() *Model {
 	return &Model{
-		Cost:      DefaultCostModel(),
+		Cost:      activeCostModel(),
 		Nodes:     make(map[string]*NodePerf),
 		Regions:   make(map[string]*RegionPerf),
 		Placement: make(map[string]string),

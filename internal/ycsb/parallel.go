@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"met/internal/hbase"
 	"met/internal/kv"
@@ -29,6 +30,7 @@ type ParallelRunner struct {
 
 	inserts   atomic.Int64
 	completed [numOpTypes]atomic.Int64
+	opNanos   [numOpTypes]atomic.Int64
 	errors    atomic.Int64
 	transient atomic.Int64
 }
@@ -127,11 +129,14 @@ type worker struct {
 	gen Generator
 }
 
-// step executes one operation drawn from the workload mix.
+// step executes one operation drawn from the workload mix, timing it so
+// measured per-op-class latencies (OpNanos) can calibrate the
+// performance model against real engine costs.
 func (w *worker) step() error {
 	p := w.p
 	op := p.W.NextOp(w.rng)
 	table := p.W.TableName()
+	start := time.Now()
 	var err error
 	switch op {
 	case OpRead:
@@ -163,6 +168,7 @@ func (w *worker) step() error {
 		return err
 	}
 	p.completed[op].Add(1)
+	p.opNanos[op].Add(int64(time.Since(start)))
 	return nil
 }
 
@@ -182,6 +188,19 @@ func (p *ParallelRunner) Completed() map[OpType]int64 {
 	for op := 0; op < numOpTypes; op++ {
 		if n := p.completed[op].Load(); n > 0 {
 			out[OpType(op)] = n
+		}
+	}
+	return out
+}
+
+// OpNanos returns the mean measured latency per completed operation of
+// each class, in nanoseconds — the raw material for calibrating the
+// performance model's cost constants against the real engine.
+func (p *ParallelRunner) OpNanos() map[OpType]float64 {
+	out := make(map[OpType]float64, numOpTypes)
+	for op := 0; op < numOpTypes; op++ {
+		if n := p.completed[op].Load(); n > 0 {
+			out[OpType(op)] = float64(p.opNanos[op].Load()) / float64(n)
 		}
 	}
 	return out

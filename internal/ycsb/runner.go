@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"time"
 
 	"met/internal/hbase"
 	"met/internal/sim"
@@ -21,6 +22,7 @@ type Runner struct {
 	gen       Generator
 	inserts   int64
 	completed map[OpType]int64
+	opNanos   map[OpType]int64
 	errors    int64
 }
 
@@ -36,6 +38,7 @@ func NewRunner(w Workload, c *hbase.Client, rng *sim.RNG) (*Runner, error) {
 		gen:       NewPaperHotspot(w.RecordCount),
 		inserts:   w.RecordCount,
 		completed: make(map[OpType]int64),
+		opNanos:   make(map[OpType]int64),
 	}, nil
 }
 
@@ -65,10 +68,12 @@ func (r *Runner) value() []byte {
 	return bytes.Repeat([]byte{'x'}, r.W.FieldLengthBytes)
 }
 
-// Step executes one operation drawn from the workload mix.
+// Step executes one operation drawn from the workload mix, timing it
+// for per-op-class latency reporting (OpNanos).
 func (r *Runner) Step() error {
 	op := r.W.NextOp(r.RNG)
 	table := r.W.TableName()
+	start := time.Now()
 	var err error
 	switch op {
 	case OpRead:
@@ -93,6 +98,7 @@ func (r *Runner) Step() error {
 		return err
 	}
 	r.completed[op]++
+	r.opNanos[op] += int64(time.Since(start))
 	return nil
 }
 
@@ -121,6 +127,18 @@ func (r *Runner) Completed() map[OpType]int64 {
 	out := make(map[OpType]int64, len(r.completed))
 	for k, v := range r.completed {
 		out[k] = v
+	}
+	return out
+}
+
+// OpNanos returns the mean measured latency per completed operation of
+// each class, in nanoseconds.
+func (r *Runner) OpNanos() map[OpType]float64 {
+	out := make(map[OpType]float64, len(r.opNanos))
+	for op, total := range r.opNanos {
+		if n := r.completed[op]; n > 0 {
+			out[op] = float64(total) / float64(n)
+		}
 	}
 	return out
 }

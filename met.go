@@ -32,6 +32,19 @@
 //     crashes recover every acknowledged write from disk. Use
 //     NewClusterConfig to build a durable cluster, or `metbench
 //     -durable DIR` to drive one under YCSB load.
+//
+// On either backend, compaction runs in the background: each region
+// server owns a compactor pool (met/internal/compaction) that merges
+// store files off the engine locks, with a pluggable tiered/leveled
+// policy and a token-bucket I/O budget shared with the serving path, so
+// Puts keep flowing while heavy maintenance runs — the property MeT's
+// actuator-issued major compactions depend on. Tune it per server via
+// ServerConfig.Compaction (soft/hard file thresholds, policy, budget
+// bytes/sec, worker count; write stalls are reported in the engine
+// stats, never hidden). `metbench -sustained -durable DIR` drives the
+// write-heavy scenario that keeps the compactor busy and reports
+// flush/compaction/stall/write-amplification counters in its -json
+// output.
 package met
 
 import (
