@@ -6,7 +6,7 @@
 // Usage:
 //
 //	metbench -workload A|B|C|D|E|F|tpcc [-servers 3] [-ops 20000] [-records 5000]
-//	         [-concurrency 8] [-met] [-durable DIR] [-json out.json]
+//	         [-concurrency 8] [-met] [-durable DIR] [-json out.json] [-coldstart]
 //
 // With -concurrency N > 1 the YCSB operations are fanned across N
 // goroutines the way real YCSB drives HBase with a client thread pool,
@@ -24,10 +24,12 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -150,6 +152,8 @@ func main() {
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	sustained := flag.Bool("sustained", false,
 		"sustained write-heavy scenario: workload B (100% update), bigger values and a tiny heap so flushes, background compactions and write stalls actually happen during the run")
+	coldstart := flag.Bool("coldstart", false,
+		"cold-start scenario (requires -durable): write acknowledged rows across two tables, move a region, hard-stop the whole cluster mid-run, reopen it from the data directory alone (met.OpenCluster) and verify every acknowledged write plus the recovered layout")
 	maxFiles := flag.Int("max-store-files", 0, "soft store-file threshold triggering background compaction (0 = default)")
 	stallFiles := flag.Int("stall-files", 0, "hard store-file ceiling stalling writers (0 = 3x soft threshold)")
 	compactPolicy := flag.String("compact-policy", "", "background compaction policy: tiered or leveled (default tiered)")
@@ -181,7 +185,21 @@ func main() {
 		}
 		valueBytes = 512
 	}
+	if *coldstart {
+		if *durableDir == "" {
+			log.Fatal("metbench: -coldstart requires -durable DIR")
+		}
+		runColdStart(*durableDir, cfg, *servers, *ops, *seed, *jsonOut)
+		return
+	}
 	cluster, err := met.NewClusterConfig(*servers, cfg)
+	if errors.Is(err, met.ErrClusterExists) {
+		// The data directory holds a previous run's cluster: cold-start
+		// it (servers, tables, assignment and data all recover from
+		// disk) and drive the workload against the recovered state.
+		fmt.Fprintf(os.Stderr, "metbench: %s holds an existing cluster; cold-starting it\n", *durableDir)
+		cluster, err = met.OpenCluster(*durableDir)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -285,7 +303,7 @@ func runYCSB(cluster *met.Cluster, letter string, ops int, records int64, seed u
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := runner.CreateTable(cluster.Master); err != nil {
+	if err := runner.CreateTable(cluster.Master); err != nil && !errors.Is(err, met.ErrTableExists) {
 		log.Fatal(err)
 	}
 	fmt.Printf("loading %d records into %s...\n", records, spec.TableName())
@@ -347,7 +365,7 @@ func runYCSBParallel(cluster *met.Cluster, letter string, ops int, records int64
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := runner.CreateTable(cluster.Master); err != nil {
+	if err := runner.CreateTable(cluster.Master); err != nil && !errors.Is(err, met.ErrTableExists) {
 		log.Fatal(err)
 	}
 	fmt.Printf("loading %d records into %s (%d loaders)...\n", records, spec.TableName(), concurrency)
@@ -379,12 +397,178 @@ func runYCSBParallel(cluster *met.Cluster, letter string, ops int, records int64
 	res.finish(elapsed)
 }
 
+// runColdStart is the whole-cluster recovery proof: acknowledged writes
+// land across two tables and every server, one region moves mid-run,
+// the cluster is hard-stopped (no flush, no clean close — the on-disk
+// state of a process kill) and reopened from the data directory alone.
+// Every acknowledged write must read back through normal client routing
+// on the reopened cluster, the recovered layout must match the
+// pre-crash one exactly, and the moved region must compact on its
+// destination server's pool. Any violation exits non-zero, so CI can
+// run this as a per-PR gate.
+func runColdStart(dataDir string, cfg met.ServerConfig, servers, ops int, seed uint64, jsonOut string) {
+	if servers < 3 {
+		fmt.Fprintln(os.Stderr, "metbench: -coldstart raises -servers to 3 (the acceptance floor)")
+		servers = 3
+	}
+	// A small heap keeps flushes happening at bench volumes, so recovery
+	// exercises SSTables and WAL tails, not just one big memstore replay.
+	cfg.HeapBytes = 1 << 20
+	cluster, err := met.NewClusterConfig(servers, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, c := cluster.Master, cluster.Client
+	tables := []string{"orders", "users"}
+	splits := map[string][]string{"users": {"g", "p"}, "orders": {"m"}}
+	for _, tn := range tables {
+		if _, err := m.CreateTable(tn, splits[tn]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(seed)
+	acked := make(map[string]map[string]string, len(tables)) // table -> key -> value
+	for _, tn := range tables {
+		acked[tn] = make(map[string]string)
+	}
+	write := func(n int) {
+		for i := 0; i < n; i++ {
+			tn := tables[rng.Intn(len(tables))]
+			// Keys spread over the whole alphabet so every pre-split
+			// region — and therefore every server — holds rows.
+			key := fmt.Sprintf("%c%07x", byte('a'+rng.Intn(26)), rng.Uint64()&0xfffffff)
+			val := fmt.Sprintf("%s/%s/v%d", tn, key, i)
+			if err := c.Put(tn, key, []byte(val)); err != nil {
+				log.Fatalf("metbench: coldstart put %s/%s: %v", tn, key, err)
+			}
+			acked[tn][key] = val
+		}
+	}
+	fmt.Printf("coldstart: writing %d rows across %d tables on %d servers...\n", ops, len(tables), servers)
+	write(ops / 2)
+
+	// Move one region so recovery must also prove the moved region's
+	// directory, assignment and compactor attribution survive. The
+	// region must actually hold rows, or the whole move check is
+	// vacuous.
+	tbl, _ := m.Table("users")
+	movedRegion := tbl.Regions()[0]
+	moved := movedRegion.Name()
+	if movedRegion.DataBytes() == 0 {
+		log.Fatalf("metbench: coldstart: region %s chosen for the move holds no data", moved)
+	}
+	src, _ := m.HostOf(moved)
+	var dst string
+	for _, rs := range m.Servers() {
+		if rs.Name() != src {
+			dst = rs.Name()
+			break
+		}
+	}
+	if err := m.MoveRegion(moved, dst); err != nil {
+		log.Fatal(err)
+	}
+	write(ops - ops/2)
+
+	preAssign := m.Assignment()
+	preTables := m.Tables()
+	// Rows must genuinely span >= 3 servers, or the whole-cluster claim
+	// is weaker than advertised.
+	hosts := make(map[string]bool)
+	for _, tn := range tables {
+		tb, _ := m.Table(tn)
+		for _, r := range tb.Regions() {
+			if r.DataBytes() > 0 {
+				hosts[preAssign[r.Name()]] = true
+			}
+		}
+	}
+	if len(hosts) < 3 {
+		log.Fatalf("metbench: coldstart: rows span %d servers, want >= 3", len(hosts))
+	}
+	fmt.Printf("coldstart: hard-stopping the cluster (moved %s %s -> %s)...\n", moved, src, dst)
+	m.HardStop()
+
+	reopened, err := met.OpenCluster(dataDir)
+	if err != nil {
+		log.Fatalf("metbench: coldstart reopen: %v", err)
+	}
+	m2, c2 := reopened.Master, reopened.Client
+	if got := m2.Tables(); !reflect.DeepEqual(got, preTables) {
+		log.Fatalf("metbench: coldstart tables %v != pre-crash %v", got, preTables)
+	}
+	if got := m2.Assignment(); !reflect.DeepEqual(got, preAssign) {
+		log.Fatalf("metbench: coldstart assignment %v != pre-crash %v", got, preAssign)
+	}
+	total := 0
+	for tn, rows := range acked {
+		for k, want := range rows {
+			v, err := c2.Get(tn, k)
+			if err != nil || string(v) != want {
+				log.Fatalf("metbench: coldstart lost acknowledged write %s/%s: %q, %v", tn, k, v, err)
+			}
+			total++
+		}
+	}
+	// The moved region must be serviced by its destination's pool — and
+	// the compaction must be real I/O, not an empty-store no-op. The
+	// recovered rows may all sit in the replayed memstore, so flush
+	// first: the major compaction then has at least one SSTable to
+	// rewrite.
+	dstRS, err := m2.Server(dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var movedStore *kv.Store
+	for _, r := range dstRS.Regions() {
+		if r.Name() == moved {
+			movedStore = r.Store()
+		}
+	}
+	if movedStore == nil {
+		log.Fatalf("metbench: coldstart: moved region %s not hosted on destination %s", moved, dst)
+	}
+	if err := movedStore.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if movedStore.NumFiles() == 0 {
+		log.Fatalf("metbench: coldstart: moved region %s recovered no data to compact", moved)
+	}
+	before := dstRS.CompactionStats()
+	if _, err := dstRS.MajorCompact(moved); err != nil {
+		log.Fatalf("metbench: coldstart major compact on destination: %v", err)
+	}
+	after := dstRS.CompactionStats()
+	if after.Compactions <= before.Compactions || after.BytesIn <= before.BytesIn {
+		log.Fatalf("metbench: coldstart: moved region did not really compact on destination pool (%d -> %d compactions, %d -> %d bytes)",
+			before.Compactions, after.Compactions, before.BytesIn, after.BytesIn)
+	}
+	if n := movedStore.NumFiles(); n != 1 {
+		log.Fatalf("metbench: coldstart: major compaction left %d files, want 1", n)
+	}
+	fmt.Printf("coldstart: OK — %d acknowledged rows verified, layout recovered, moved region compacted on %s\n", total, dst)
+	if jsonOut != "" {
+		res := &result{
+			Workload: "coldstart", Ops: ops, Servers: servers, Durable: true,
+			GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+			Completed: int64(total),
+		}
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
 func runTPCC(cluster *met.Cluster, txs int, seed uint64, res *result) {
 	cfg := tpcc.Small()
 	cfg.Warehouses = 3
 	cfg.Items = 300
 	loader := &tpcc.Loader{Cfg: cfg, Client: cluster.Client}
-	if err := loader.CreateTables(cluster.Master, 1); err != nil {
+	if err := loader.CreateTables(cluster.Master, 1); err != nil && !errors.Is(err, met.ErrTableExists) {
 		log.Fatal(err)
 	}
 	rows, err := loader.Load()

@@ -132,7 +132,10 @@ func (a *FunctionalActuator) Apply(target []placement.NodeState) (ApplyReport, e
 					rep.RegionMoves++
 				}
 			}
-			if err := rs.Restart(wantCfg); err != nil {
+			// Through the master, so a durable cluster's catalog records
+			// the new profile and a cold start re-creates the server as
+			// reprofiled.
+			if err := a.Master.RestartServer(ns.Node, wantCfg); err != nil {
 				return rep, err
 			}
 			a.Monitor.SetNodeType(ns.Node, ns.Type)

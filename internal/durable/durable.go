@@ -91,7 +91,8 @@ type Options struct {
 	// shared with background compaction, so compaction yields to
 	// serving; it must never block. Flush/compaction SSTable builds are
 	// accounted by the engine, which knows which of the two classes a
-	// build belongs to.
+	// build belongs to. Swappable on a live log via WAL.SetAccount —
+	// a moved region's WAL bytes must charge its new host's budget.
 	Account func(bytes int)
 }
 

@@ -459,6 +459,18 @@ func readSegment(path string, fn func(kv.Entry)) error {
 	return nil
 }
 
+// SetAccount swaps the foreground-accounting hook (Options.Account) the
+// log charges its append bytes to. A region move re-homes a live store
+// onto another server, whose I/O budget must absorb the WAL traffic from
+// then on; appends read the hook under the same mutex, so the swap is
+// race-free and takes effect at the next append. fn may be nil
+// (accounting off).
+func (w *WAL) SetAccount(fn func(bytes int)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.opts.Account = fn
+}
+
 // BytesAppended returns the physical bytes written to the log so far.
 func (w *WAL) BytesAppended() int64 { return w.bytesAppended.Load() }
 

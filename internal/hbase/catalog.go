@@ -1,0 +1,225 @@
+package hbase
+
+// The META catalog: the cluster's own layout, stored as just another
+// durable region. HBase keeps table schemas and the region→server
+// assignment in a META table that is itself a region served by the
+// cluster; this file reproduces that idea one level down — a
+// Master-owned kv.Store on the durable backend (WAL + SSTables under
+// <DataDir>/meta) that every layout mutation writes through, so a whole
+// cluster can cold-start from its data directory alone (OpenCluster).
+//
+// # Row format
+//
+// Three key families, each value a JSON document; the LSM engine's
+// timestamps version the rows (a rewrite supersedes, a tombstone
+// deletes), and each document additionally carries a monotonically
+// increasing Rev for observability:
+//
+//	cluster            -> {replication, splitSeq, rev}
+//	server/<name>      -> {config (ServerConfig incl. DataDir,
+//	                       compaction knobs), rev}
+//	table/<name>       -> {splitKeys, regions: [{name, start, end,
+//	                       server}], rev}
+//
+// One row per table — not one per region — so every layout change a
+// single operation makes (create, move, split) commits as ONE durable
+// Put: the row is either entirely the old layout or entirely the new
+// one, never a half-moved or half-split table. The Put is acknowledged
+// only after its WAL record is fsynced (the durable engine's contract),
+// which is what makes each catalog commit a crash-consistent point.
+//
+// # Commit ordering
+//
+// Mutating operations write the catalog at the point that makes a crash
+// on either side recoverable:
+//
+//	AddServer          register server, THEN put server row — a crash
+//	                   between leaves no row: the server is cleanly
+//	                   absent after cold start.
+//	CreateTable        open all regions, THEN put the table row (the
+//	                   commit point) — a crash between leaves orphan
+//	                   region directories that OpenCluster sweeps; the
+//	                   table is cleanly absent.
+//	MoveRegion         move, THEN put the table row — a crash between
+//	                   reopens the region on its old host (region data
+//	                   directories are keyed by region name, so data is
+//	                   correct either way).
+//	SplitRegion        bump splitSeq (so a replayed split can never
+//	                   mint colliding daughter names), import the
+//	                   daughters, THEN put the table row (parent
+//	                   replaced by daughters in one commit), THEN
+//	                   reclaim the parent directory. A crash before the
+//	                   commit leaves the parent authoritative and the
+//	                   daughters orphaned (swept); after it, the
+//	                   daughters are authoritative and the parent
+//	                   directory is the orphan.
+//	DecommissionServer move every region (one table-row commit each),
+//	                   THEN delete the server row — a crash mid-drain
+//	                   cold-starts into the partially drained layout,
+//	                   which is consistent.
+//
+// # Recovery order
+//
+// OpenCluster replays in dependency order: the cluster row (replication
+// factor, split sequence), then server rows (re-creating each
+// RegionServer with its persisted config), then table rows (reopening
+// every region's store from its directory on its assigned server and
+// rebuilding routing), and finally the orphan sweep that removes region
+// directories no table row references.
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"met/internal/durable"
+	"met/internal/kv"
+)
+
+// Catalog key scheme.
+const (
+	catalogClusterKey  = "cluster"
+	catalogServerPfx   = "server/"
+	catalogTablePfx    = "table/"
+	catalogDirName     = "meta"
+	catalogMemstore    = 1 << 20
+	catalogStoreSplits = 4
+)
+
+// clusterRow is the singleton cluster-wide record.
+type clusterRow struct {
+	Replication int    `json:"replication"`
+	SplitSeq    int64  `json:"split_seq"`
+	Rev         uint64 `json:"rev"`
+}
+
+// serverRow records one region server's membership and configuration.
+type serverRow struct {
+	Config ServerConfig `json:"config"`
+	Rev    uint64       `json:"rev"`
+}
+
+// tableRow records one table's schema and complete region layout. It is
+// the catalog's atomic unit: every layout change to the table rewrites
+// the whole row in one durable Put.
+type tableRow struct {
+	SplitKeys []string    `json:"split_keys,omitempty"`
+	Regions   []regionRow `json:"regions"`
+	Rev       uint64      `json:"rev"`
+}
+
+// regionRow is one region's bounds and assignment inside a tableRow.
+type regionRow struct {
+	Name   string `json:"name"`
+	Start  string `json:"start"`
+	End    string `json:"end,omitempty"`
+	Server string `json:"server"`
+}
+
+// catalog is the Master's handle on the META store. All mutations
+// serialize on mu (layout changes are rare; the serving path never
+// touches the catalog), so row revisions are strictly ordered.
+type catalog struct {
+	mu    sync.Mutex
+	store *kv.Store
+	dir   string // the cluster DataDir the catalog lives under
+	rev   uint64 // last revision handed out
+}
+
+// catalogDir returns the META store's directory under the cluster data
+// root — a sibling of regions/, never swept by the orphan cleanup.
+func catalogDir(dataDir string) string {
+	return filepath.Join(dataDir, catalogDirName)
+}
+
+// openCatalog opens (or creates) the META store under dataDir. The
+// store runs inline compaction (no pool): catalog traffic is a handful
+// of tiny rows per layout change, and keeping it self-contained means
+// the catalog never depends on any region server's lifecycle.
+func openCatalog(dataDir string) (*catalog, error) {
+	store, err := kv.OpenStore(kv.Config{
+		MemstoreFlushBytes: catalogMemstore,
+		MaxStoreFiles:      catalogStoreSplits,
+		OpenBackend:        durable.Opener(catalogDir(dataDir), durable.Options{}),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hbase: open catalog: %w", err)
+	}
+	return &catalog{store: store, dir: dataDir}, nil
+}
+
+// put marshals row and durably writes it under key; the write is
+// fsynced before put returns (the commit point of the calling
+// operation).
+func (c *catalog) put(key string, row any) error {
+	buf, err := json.Marshal(row)
+	if err != nil {
+		return fmt.Errorf("hbase: catalog encode %s: %w", key, err)
+	}
+	if err := c.store.Put(key, buf); err != nil {
+		return fmt.Errorf("hbase: catalog write %s: %w", key, err)
+	}
+	return nil
+}
+
+// delete durably tombstones key.
+func (c *catalog) delete(key string) error {
+	if err := c.store.Delete(key); err != nil {
+		return fmt.Errorf("hbase: catalog delete %s: %w", key, err)
+	}
+	return nil
+}
+
+// nextRev mints the next row revision. Callers hold c.mu.
+func (c *catalog) nextRev() uint64 {
+	c.rev++
+	return c.rev
+}
+
+// loadAll scans the whole catalog into its typed rows, restoring the
+// revision counter past every recovered revision.
+func (c *catalog) loadAll() (clusterRow, map[string]serverRow, map[string]tableRow, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cluster := clusterRow{Replication: 2}
+	servers := make(map[string]serverRow)
+	tables := make(map[string]tableRow)
+	entries, err := c.store.Scan("", "", -1)
+	if err != nil {
+		return cluster, nil, nil, fmt.Errorf("hbase: catalog scan: %w", err)
+	}
+	for _, e := range entries {
+		var rev uint64
+		switch {
+		case e.Key == catalogClusterKey:
+			if err := json.Unmarshal(e.Value, &cluster); err != nil {
+				return cluster, nil, nil, fmt.Errorf("hbase: catalog decode %s: %w", e.Key, err)
+			}
+			rev = cluster.Rev
+		case len(e.Key) > len(catalogServerPfx) && e.Key[:len(catalogServerPfx)] == catalogServerPfx:
+			var row serverRow
+			if err := json.Unmarshal(e.Value, &row); err != nil {
+				return cluster, nil, nil, fmt.Errorf("hbase: catalog decode %s: %w", e.Key, err)
+			}
+			servers[e.Key[len(catalogServerPfx):]] = row
+			rev = row.Rev
+		case len(e.Key) > len(catalogTablePfx) && e.Key[:len(catalogTablePfx)] == catalogTablePfx:
+			var row tableRow
+			if err := json.Unmarshal(e.Value, &row); err != nil {
+				return cluster, nil, nil, fmt.Errorf("hbase: catalog decode %s: %w", e.Key, err)
+			}
+			tables[e.Key[len(catalogTablePfx):]] = row
+			rev = row.Rev
+		}
+		if rev > c.rev {
+			c.rev = rev
+		}
+	}
+	return cluster, servers, tables, nil
+}
+
+// close releases the catalog store (WAL and SSTable handles).
+func (c *catalog) close() {
+	c.store.Close()
+}

@@ -1,0 +1,153 @@
+package hbase
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"met/internal/hdfs"
+)
+
+// OpenCluster cold-starts a whole cluster from its data directory
+// alone: the META catalog (see catalog.go) is replayed in dependency
+// order — cluster row, then servers, then tables — re-creating every
+// region server with its persisted configuration, reopening every
+// region's store from its on-disk directory (WAL replay recovers every
+// acknowledged write), rebuilding routing and the region→server
+// assignment exactly as they were committed. No CreateTable or manual
+// assignment is needed; the returned Master serves immediately.
+//
+// Region directories that no table row references — debris of an
+// operation that crashed before its commit point, such as a
+// half-created table or an uncommitted split's daughters — are swept,
+// so a partially applied operation is cleanly absent rather than
+// half-recovered.
+//
+// The HDFS locality mirror is rebuilt from each region's recovered file
+// stack, local to the region's assigned server; cross-server locality
+// history from before the stop is not preserved (as after any full
+// HBase cluster restart, a major compaction restores it).
+func OpenCluster(dataDir string) (*Master, error) {
+	// Refuse before creating anything: opening the catalog would mint a
+	// fresh (empty) meta directory, silently "recovering" a zero-server
+	// cluster from a typo'd path.
+	if _, err := os.Stat(catalogDir(dataDir)); err != nil {
+		return nil, fmt.Errorf("hbase: open cluster %q: no META catalog: %w", dataDir, err)
+	}
+	cat, err := openCatalog(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	cluster, servers, tables, err := cat.loadAll()
+	if err != nil {
+		cat.close()
+		return nil, err
+	}
+	if len(servers) == 0 {
+		// A catalog with no committed membership is not a recoverable
+		// cluster (at most a cluster row from a creation that died before
+		// its first AddServer commit).
+		cat.close()
+		return nil, fmt.Errorf("hbase: open cluster %q: catalog holds no committed servers", dataDir)
+	}
+	nn := hdfs.NewNamenode(cluster.Replication)
+	m := NewMaster(nn)
+	m.catalog = cat
+	m.splitSeq = cluster.SplitSeq
+
+	fail := func(err error) (*Master, error) {
+		for _, rs := range m.Servers() {
+			for _, r := range rs.Regions() {
+				r.Store().Close()
+			}
+			rs.Shutdown()
+		}
+		cat.close()
+		return nil, err
+	}
+
+	serverNames := make([]string, 0, len(servers))
+	for sn := range servers {
+		serverNames = append(serverNames, sn)
+	}
+	sort.Strings(serverNames)
+	for _, sn := range serverNames {
+		rs, err := NewRegionServer(sn, servers[sn].Config, nn)
+		if err != nil {
+			return fail(fmt.Errorf("hbase: cold start server %q: %w", sn, err))
+		}
+		m.mu.Lock()
+		m.servers[sn] = rs
+		m.mu.Unlock()
+	}
+
+	tableNames := make([]string, 0, len(tables))
+	for tn := range tables {
+		tableNames = append(tableNames, tn)
+	}
+	sort.Strings(tableNames)
+	live := make(map[string]bool) // escaped directory names to keep
+	for _, tn := range tableNames {
+		row := tables[tn]
+		t := newTable(tn, row.SplitKeys)
+		for _, rr := range row.Regions {
+			m.mu.RLock()
+			rs := m.servers[rr.Server]
+			m.mu.RUnlock()
+			if rs == nil {
+				return fail(fmt.Errorf("hbase: cold start: region %q assigned to unknown server %q", rr.Name, rr.Server))
+			}
+			r, err := newRegionNamed(rr.Name, tn, rr.Start, rr.End,
+				rs.storeConfigFor(rr.Name, rs.NumRegions()+1))
+			if err != nil {
+				return fail(fmt.Errorf("hbase: cold start: %w", err))
+			}
+			rs.OpenRegion(r)
+			t.addRegion(r)
+			m.mu.Lock()
+			m.assignment[rr.Name] = rr.Server
+			m.mu.Unlock()
+			// Rebuild the locality mirror from the recovered file stack.
+			rs.mirrorSync(r)
+			live[url.PathEscape(rr.Name)] = true
+		}
+		m.mu.Lock()
+		m.tables[tn] = t
+		m.mu.Unlock()
+	}
+
+	sweepOrphanRegions(dataDir, live)
+	return m, nil
+}
+
+// sweepOrphanRegions removes region directories under dataDir/regions
+// that the catalog does not reference: the durable leftovers of
+// operations that crashed before their commit point. Sweeping them is
+// what makes "cleanly absent" true — an orphaned daughter directory
+// must never be resurrected into a future region's store.
+func sweepOrphanRegions(dataDir string, live map[string]bool) {
+	dir := filepath.Join(dataDir, "regions")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return // no regions directory yet: nothing to sweep
+	}
+	for _, e := range entries {
+		if !live[e.Name()] {
+			_ = os.RemoveAll(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// HardStop simulates a process kill for tests and the metbench
+// -coldstart mode: every server stops serving and its background
+// compactor drains, but no store is flushed or cleanly closed — exactly
+// the state a real kill leaves on disk, minus the in-process goroutines
+// an in-process "kill" must still stop. Recovery of everything
+// acknowledged must come from the WALs and SSTables via OpenCluster.
+func (m *Master) HardStop() {
+	for _, rs := range m.Servers() {
+		rs.Shutdown()
+	}
+}

@@ -19,6 +19,15 @@ var ErrUnknownServer = errors.New("hbase: unknown region server")
 // ErrNoServers is returned when the cluster has no running servers.
 var ErrNoServers = errors.New("hbase: no region servers")
 
+// ErrTableExists is returned by CreateTable for a name already taken
+// (including one recovered from the catalog by a cold start).
+var ErrTableExists = errors.New("hbase: table exists")
+
+// ErrClusterExists is returned by NewDurableMaster when the data
+// directory already holds a committed cluster layout; cold-start it
+// with OpenCluster instead.
+var ErrClusterExists = errors.New("hbase: data directory already holds a cluster")
+
 // Balancer decides where regions go. The paper contrasts HBase's
 // randomized out-of-the-box placement with informed strategies; both are
 // implemented behind this interface.
@@ -94,23 +103,148 @@ type Master struct {
 	namenode *hdfs.Namenode
 	servers  map[string]*RegionServer
 	tables   map[string]*Table
+	// creating reserves table names mid-CreateTable so two concurrent
+	// creations of the same name cannot both pass the existence check;
+	// addingServer does the same for AddServer, whose catalog commit
+	// happens before the server becomes visible.
+	creating     map[string]bool
+	addingServer map[string]bool
 	// assignment maps region name -> server name.
 	assignment map[string]string
 	balancer   Balancer
 	moves      int64
 	splitSeq   int64
+
+	// catalog, when non-nil, is the durable META store every layout
+	// mutation writes through (see catalog.go); nil keeps the legacy
+	// in-memory-only metadata the simulation layers use.
+	catalog *catalog
+
+	// crashHook, when non-nil, is invoked at named crash points inside
+	// mutating operations — tests use it to simulate a hard process
+	// kill between a catalog write and the region work it describes.
+	crashHook func(point string)
 }
 
 // NewMaster creates a master over the given namenode with the default
-// randomized balancer.
+// randomized balancer and in-memory-only metadata (no catalog).
 func NewMaster(nn *hdfs.Namenode) *Master {
 	return &Master{
-		namenode:   nn,
-		servers:    make(map[string]*RegionServer),
-		tables:     make(map[string]*Table),
-		assignment: make(map[string]string),
-		balancer:   &RandomBalancer{},
+		namenode:     nn,
+		servers:      make(map[string]*RegionServer),
+		tables:       make(map[string]*Table),
+		creating:     make(map[string]bool),
+		addingServer: make(map[string]bool),
+		assignment:   make(map[string]string),
+		balancer:     &RandomBalancer{},
 	}
+}
+
+// NewDurableMaster creates a master whose layout metadata — server
+// membership and configs, table schemas, region bounds and assignment —
+// persists to the META catalog under dataDir, so the whole cluster can
+// later cold-start from the data directory alone via OpenCluster.
+func NewDurableMaster(nn *hdfs.Namenode, dataDir string) (*Master, error) {
+	cat, err := openCatalog(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	// A data directory that already holds a committed layout belongs to
+	// an existing cluster: silently building a fresh master over it
+	// would interleave two layouts in one catalog. Cold-starting is
+	// OpenCluster's job.
+	if _, servers, tables, err := cat.loadAll(); err != nil {
+		cat.close()
+		return nil, err
+	} else if len(servers) > 0 || len(tables) > 0 {
+		cat.close()
+		return nil, fmt.Errorf("%w: %q (%d servers, %d tables); use OpenCluster to cold-start it",
+			ErrClusterExists, dataDir, len(servers), len(tables))
+	}
+	m := NewMaster(nn)
+	m.catalog = cat
+	if err := m.commitCluster(); err != nil {
+		cat.close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// crash fires the test-only crash hook.
+func (m *Master) crash(point string) {
+	if m.crashHook != nil {
+		m.crashHook(point)
+	}
+}
+
+// commitCluster persists the singleton cluster row (replication factor,
+// split sequence). No-op without a catalog.
+func (m *Master) commitCluster() error {
+	if m.catalog == nil {
+		return nil
+	}
+	m.mu.RLock()
+	row := clusterRow{Replication: m.namenode.Replication(), SplitSeq: m.splitSeq}
+	m.mu.RUnlock()
+	m.catalog.mu.Lock()
+	defer m.catalog.mu.Unlock()
+	row.Rev = m.catalog.nextRev()
+	return m.catalog.put(catalogClusterKey, row)
+}
+
+// commitServer persists one server's membership row.
+func (m *Master) commitServer(name string, cfg ServerConfig) error {
+	if m.catalog == nil {
+		return nil
+	}
+	m.catalog.mu.Lock()
+	defer m.catalog.mu.Unlock()
+	return m.catalog.put(catalogServerPfx+name, serverRow{Config: cfg, Rev: m.catalog.nextRev()})
+}
+
+// dropServer tombstones a decommissioned server's row.
+func (m *Master) dropServer(name string) error {
+	if m.catalog == nil {
+		return nil
+	}
+	m.catalog.mu.Lock()
+	defer m.catalog.mu.Unlock()
+	return m.catalog.delete(catalogServerPfx + name)
+}
+
+// commitTable persists t's complete current layout — bounds and
+// assignment of every region — as one durable row write: the atomic
+// commit point of CreateTable, MoveRegion and SplitRegion. The row is
+// built under the catalog lock so two racing layout changes to the same
+// table serialize write-for-write with their snapshots.
+func (m *Master) commitTable(t *Table) error {
+	if m.catalog == nil {
+		return nil
+	}
+	m.catalog.mu.Lock()
+	defer m.catalog.mu.Unlock()
+	row := tableRow{SplitKeys: t.splitKeys, Rev: m.catalog.nextRev()}
+	m.mu.RLock()
+	for _, r := range t.Regions() {
+		row.Regions = append(row.Regions, regionRow{
+			Name: r.Name(), Start: r.StartKey(), End: r.EndKey(),
+			Server: m.assignment[r.Name()],
+		})
+	}
+	m.mu.RUnlock()
+	return m.catalog.put(catalogTablePfx+t.Name(), row)
+}
+
+// commitTableOf is commitTable by table name; unknown tables are a
+// no-op (the region's table vanished under a racing operation).
+func (m *Master) commitTableOf(name string) error {
+	m.mu.RLock()
+	t := m.tables[name]
+	m.mu.RUnlock()
+	if t == nil {
+		return nil
+	}
+	return m.commitTable(t)
 }
 
 // SetBalancer swaps the placement policy.
@@ -123,18 +257,39 @@ func (m *Master) SetBalancer(b Balancer) {
 // Namenode exposes the underlying HDFS metadata service.
 func (m *Master) Namenode() *hdfs.Namenode { return m.namenode }
 
-// AddServer registers a new region server with the cluster.
+// AddServer registers a new region server with the cluster. With a
+// catalog, the membership row is committed BEFORE the server becomes
+// visible in the cluster: no region can ever be assigned (and durably
+// committed) to a server whose own row might still fail to write, so
+// the catalog never references an uncommitted server. A crash before
+// the commit leaves the server cleanly absent after cold start; a crash
+// after it cold-starts the server as an empty member.
 func (m *Master) AddServer(name string, cfg ServerConfig) (*RegionServer, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.servers[name]; ok {
+	if _, ok := m.servers[name]; ok || m.addingServer[name] {
+		m.mu.Unlock()
 		return nil, fmt.Errorf("hbase: server %q already registered", name)
 	}
+	m.addingServer[name] = true
 	rs, err := NewRegionServer(name, cfg, m.namenode)
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.addingServer, name)
+		m.mu.Unlock()
+	}()
 	if err != nil {
 		return nil, err
 	}
+	m.crash("addserver.registered")
+	if err := m.commitServer(name, cfg); err != nil {
+		rs.Shutdown()
+		m.namenode.RemoveDatanode(name)
+		return nil, err
+	}
+	m.mu.Lock()
 	m.servers[name] = rs
+	m.mu.Unlock()
 	return rs, nil
 }
 
@@ -160,6 +315,7 @@ func (m *Master) DecommissionServer(name string) error {
 		return ErrNoServers
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].Name() < targets[j].Name() })
+	var errs []error
 	for _, r := range rs.Regions() {
 		// Least regions first keeps counts balanced.
 		sort.SliceStable(targets, func(i, j int) bool { return targets[i].NumRegions() < targets[j].NumRegions() })
@@ -170,10 +326,38 @@ func (m *Master) DecommissionServer(name string) error {
 		m.assignment[r.Name()] = dst.Name()
 		m.moves++
 		m.mu.Unlock()
+		// Each drained region commits its table's new layout; a crash
+		// mid-drain cold-starts into the partially drained (consistent)
+		// state, with this server still a member.
+		if err := m.commitTableOf(r.Table()); err != nil {
+			errs = append(errs, err)
+		}
 	}
+	m.crash("decommission.drained")
 	rs.Shutdown() // stop serving and drain the background compactor
 	m.namenode.RemoveDatanode(name)
-	return nil
+	if err := m.dropServer(name); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// RestartServer applies a new configuration to a server (stop, reopen
+// every hosted store, start — RegionServer.Restart) through the master,
+// which persists the new profile to the catalog: a cold start re-creates
+// the server as reprofiled, not as originally added. The catalog write
+// happens after the restart succeeds; a crash between cold-starts the
+// server on its previous profile, which is consistent (the restart's
+// effects on data are profile-independent).
+func (m *Master) RestartServer(name string, cfg ServerConfig) error {
+	rs, err := m.Server(name)
+	if err != nil {
+		return err
+	}
+	if err := rs.Restart(cfg); err != nil {
+		return err
+	}
+	return m.commitServer(name, cfg)
 }
 
 // Server returns a registered server.
@@ -201,11 +385,21 @@ func (m *Master) Servers() []*RegionServer {
 
 // CreateTable creates a table pre-split into the given regions.
 // splitKeys must be sorted; n split keys produce n+1 regions.
+//
+// The name is reserved in one critical section — two concurrent
+// CreateTable calls for the same name cannot interleave past the
+// existence check; exactly one wins. A mid-loop failure (a region that
+// cannot be opened) unwinds completely: every already-opened region is
+// closed, its assignment deleted and its durable directory reclaimed,
+// so a failed creation leaves no orphaned, unreachable regions. With a
+// catalog, the table row — written only after every region is open — is
+// the durable commit point: a crash before it leaves the table cleanly
+// absent (its directories are swept at the next cold start).
 func (m *Master) CreateTable(name string, splitKeys []string) (*Table, error) {
 	m.mu.Lock()
-	if _, ok := m.tables[name]; ok {
+	if _, ok := m.tables[name]; ok || m.creating[name] {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("hbase: table %q exists", name)
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
 	}
 	if len(m.servers) == 0 {
 		m.mu.Unlock()
@@ -217,7 +411,19 @@ func (m *Master) CreateTable(name string, splitKeys []string) (*Table, error) {
 			return nil, fmt.Errorf("hbase: split keys not strictly sorted at %d", i)
 		}
 	}
+	m.creating[name] = true
+	serverNames := make([]string, 0, len(m.servers))
+	for sn := range m.servers {
+		serverNames = append(serverNames, sn)
+	}
+	sort.Strings(serverNames)
+	balancer := m.balancer
 	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.creating, name)
+		m.mu.Unlock()
+	}()
 
 	t := newTable(name, splitKeys)
 	// Build the regions; store configs come from their first server, so
@@ -226,31 +432,48 @@ func (m *Master) CreateTable(name string, splitKeys []string) (*Table, error) {
 	for _, b := range t.bounds {
 		names = append(names, regionName(name, b.start))
 	}
-	m.mu.Lock()
-	serverNames := make([]string, 0, len(m.servers))
-	for sn := range m.servers {
-		serverNames = append(serverNames, sn)
-	}
-	sort.Strings(serverNames)
-	plan := m.balancer.Assign(names, serverNames)
-	m.mu.Unlock()
+	plan := balancer.Assign(names, serverNames)
 
+	var opened []*Region
+	unwind := func() {
+		for _, r := range opened {
+			m.mu.Lock()
+			host := m.assignment[r.Name()]
+			delete(m.assignment, r.Name())
+			rs := m.servers[host]
+			m.mu.Unlock()
+			if rs == nil {
+				r.Store().Close()
+				continue
+			}
+			rs.CloseRegion(r.Name())
+			discardRegionStore(rs, r)
+		}
+	}
 	for _, b := range t.bounds {
 		rn := regionName(name, b.start)
 		host := plan[rn]
 		rs, err := m.Server(host)
 		if err != nil {
+			unwind()
 			return nil, err
 		}
 		r, err := NewRegion(name, b.start, b.end, rs.storeConfigFor(rn, rs.NumRegions()+1))
 		if err != nil {
-			return nil, err
+			unwind()
+			return nil, fmt.Errorf("hbase: create table %q: %w", name, err)
 		}
 		rs.OpenRegion(r)
 		t.addRegion(r)
 		m.mu.Lock()
 		m.assignment[r.Name()] = host
 		m.mu.Unlock()
+		opened = append(opened, r)
+	}
+	m.crash("createtable.regions-open")
+	if err := m.commitTable(t); err != nil {
+		unwind()
+		return nil, err
 	}
 	m.mu.Lock()
 	m.tables[name] = t
@@ -331,7 +554,14 @@ func (m *Master) MoveRegion(regionName, dstServer string) error {
 	m.assignment[regionName] = dstServer
 	m.moves++
 	m.mu.Unlock()
-	return nil
+	m.crash("moveregion.moved")
+	// Commit the table's new layout. A crash before this write
+	// cold-starts the region on its old host — correct either way,
+	// because region data directories are keyed by region name, not
+	// server. On a catalog I/O error the in-memory move stands (the
+	// cluster keeps serving); the layout re-commits with the table's
+	// next successful layout change.
+	return m.commitTableOf(r.Table())
 }
 
 // Moves returns the cumulative number of region moves, an actuation-cost

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/url"
+	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -149,6 +150,17 @@ func regionDataDir(dataDir, regionName string) string {
 	return filepath.Join(dataDir, "regions", url.PathEscape(regionName))
 }
 
+// discardRegionStore closes r's store and reclaims its durable
+// directory: the shared teardown for regions abandoned mid-operation —
+// a failed CreateTable's unwind, a failed split's half-created
+// daughters, and a committed split's superseded parent.
+func discardRegionStore(rs *RegionServer, r *Region) {
+	r.Store().Close()
+	if dd := rs.Config().DataDir; dd != "" {
+		_ = os.RemoveAll(regionDataDir(dd, r.Name()))
+	}
+}
+
 // storeConfigFor derives the kv engine config for one region hosted
 // here. The server's memstore budget is split across its regions (HBase
 // bounds the global memstore similarly); the block cache is shared. When
@@ -202,15 +214,42 @@ func (s *RegionServer) rebuildIndexLocked() {
 }
 
 // OpenRegion starts hosting a region. The region's store keeps its data;
-// only bookkeeping changes hands.
+// only bookkeeping changes hands — plus the compaction plumbing: the
+// store arrives wired to its previous host's compactor pool and I/O
+// budget, and without rewiring it would keep charging (and being
+// serviced by) a server it no longer lives on until its next reopen.
 func (s *RegionServer) OpenRegion(r *Region) {
 	// The store (and its engine file IDs) travels with the region, so
 	// existing mirror bookkeeping stays valid.
 	r.resetMirror(r.Store(), true)
+	s.rewireStore(r.Store())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.regions[r.Name()] = r
 	s.rebuildIndexLocked()
+}
+
+// rewireStore re-homes a store's background-compaction attribution onto
+// this server: compaction requests route to this server's pool, flush
+// and compaction bytes charge this server's I/O budget, writers stall
+// against this server's hard file ceiling, and the durable WAL's
+// foreground accounting feeds the same budget. With no pool here the
+// store reverts to inline compaction (and its WAL stops accounting).
+func (s *RegionServer) rewireStore(st *kv.Store) {
+	s.mu.RLock()
+	pool := s.compactor
+	stall := s.cfg.Compaction.StallStoreFiles
+	s.mu.RUnlock()
+	var account func(int)
+	if pool != nil {
+		st.SetCompaction(pool, pool.Budget(), stall)
+		account = pool.Budget().NoteForeground
+	} else {
+		st.SetCompaction(nil, nil, -1)
+	}
+	if w, ok := st.WAL().(interface{ SetAccount(func(int)) }); ok {
+		w.SetAccount(account)
+	}
 }
 
 // CloseRegion stops hosting a region and returns it (nil when absent).

@@ -1,0 +1,94 @@
+package hbase
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"met/internal/hdfs"
+)
+
+// TestMovedRegionCompactsOnDestinationPool pins the moved-region
+// rewiring: before this fix a moved region's store kept its ORIGINAL
+// server's compactor pool, I/O budget and WAL accounting hook until its
+// next reopen, so compaction work and budget accounting were attributed
+// to a server the region no longer lived on. After a move, flush-driven
+// compaction requests must be serviced by the destination's pool, and
+// the WAL/flush foreground bytes must charge the destination's budget —
+// with the source's counters untouched.
+func TestMovedRegionCompactsOnDestinationPool(t *testing.T) {
+	dir := t.TempDir()
+	cfg := compactionConfig(dir, "tiered")
+	nn := hdfs.NewNamenode(2)
+	m := NewMaster(nn)
+	src, err := m.AddServer("rs0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Create the table while rs0 is the only server, pinning the region
+	// there; add the destination afterwards.
+	if _, err := m.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := m.AddServer("rs1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(m)
+	// A little pre-move data, below the flush threshold so no
+	// compaction work is queued on the source yet.
+	for i := 0; i < 20; i++ {
+		if err := c.Put("t", fmt.Sprintf("p%04d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, _ := m.Table("t")
+	region := tbl.Regions()[0]
+	if err := m.MoveRegion(region.Name(), "rs1"); err != nil {
+		t.Fatal(err)
+	}
+	srcPool := src.CompactionStats()
+	srcFG := srcPool.Budget.ForegroundBytes
+
+	// Drive enough writes through the moved region to flush well past
+	// MaxStoreFiles: the destination pool must bound the file count.
+	val := make([]byte, 1024)
+	for i := 0; i < 800; i++ {
+		if err := c.Put("t", fmt.Sprintf("k%05d", i%200), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store := region.Store()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if store.NumFiles() <= 3 && store.Stats().CompactionQueueDepth == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := store.NumFiles(); got > 3 {
+		t.Fatalf("moved region's file count never bounded: %d files — nobody serviced it", got)
+	}
+	dstPool := dst.CompactionStats()
+	if dstPool.Compactions == 0 {
+		t.Fatalf("destination pool never compacted the moved region: %+v", dstPool)
+	}
+	if after := src.CompactionStats().Compactions; after != srcPool.Compactions {
+		t.Fatalf("source pool serviced the moved region: %d -> %d compactions",
+			srcPool.Compactions, after)
+	}
+	// Budget attribution followed the region: the destination absorbed
+	// the WAL and flush foreground bytes, the source absorbed none.
+	if dstPool.Budget.ForegroundBytes == 0 {
+		t.Fatal("destination budget saw no foreground bytes — WAL accounting not rewired")
+	}
+	if after := src.CompactionStats().Budget.ForegroundBytes; after != srcFG {
+		t.Fatalf("source budget still charged for the moved region: %d -> %d bytes", srcFG, after)
+	}
+	// And the data is intact.
+	for i := 0; i < 200; i++ {
+		if _, err := c.Get("t", fmt.Sprintf("k%05d", i)); err != nil {
+			t.Fatalf("k%05d after move+compaction: %v", i, err)
+		}
+	}
+}

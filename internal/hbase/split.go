@@ -2,7 +2,6 @@ package hbase
 
 import (
 	"fmt"
-	"os"
 	"sort"
 )
 
@@ -70,18 +69,22 @@ func (m *Master) SplitRegion(regionName string) error {
 	m.splitSeq++
 	gen := m.splitSeq
 	m.mu.Unlock()
+	// Persist the bumped sequence before any daughter exists: a split
+	// replayed after a crash (or issued after a cold start) must never
+	// mint daughter names — and therefore data directories — that
+	// collide with this attempt's leftovers. A crash right here merely
+	// skips a generation number.
+	if err := m.commitCluster(); err != nil {
+		reopen()
+		return fmt.Errorf("hbase: split %s: %w", regionName, err)
+	}
 	loName := fmt.Sprintf("%s,%s.%d", parent.Table(), parent.StartKey(), gen)
 	hiName := fmt.Sprintf("%s,%s.%d", parent.Table(), mid, gen)
 	// discard abandons a half-created daughter: its store closes and,
 	// on the durable backend, its directory (partial WAL records) is
 	// reclaimed — a retried split mints fresh daughter names, so an
 	// orphaned directory would never be reused.
-	discard := func(d *Region) {
-		d.Store().Close()
-		if dd := rs.Config().DataDir; dd != "" {
-			_ = os.RemoveAll(regionDataDir(dd, d.Name()))
-		}
-	}
+	discard := func(d *Region) { discardRegionStore(rs, d) }
 	lo, err := newRegionNamed(loName, parent.Table(), parent.StartKey(), mid,
 		rs.storeConfigFor(loName, rs.NumRegions()+2))
 	if err != nil {
@@ -107,6 +110,7 @@ func (m *Master) SplitRegion(regionName string) error {
 		reopen()
 		return fmt.Errorf("hbase: split %s: %w", regionName, err)
 	}
+	m.crash("split.daughters-ready")
 	// Release the parent's HDFS files; the daughters start clean.
 	for _, f := range parent.Files() {
 		_ = m.namenode.DeleteFile(f)
@@ -119,14 +123,24 @@ func (m *Master) SplitRegion(regionName string) error {
 	m.assignment[lo.Name()] = host
 	m.assignment[hi.Name()] = host
 	m.mu.Unlock()
+	// Commit point: one table-row write replaces the parent with both
+	// daughters atomically. A crash before it cold-starts the parent
+	// (daughter directories are swept as orphans); after it, the
+	// daughters (the parent directory is the orphan).
+	if err := m.commitTableOf(parent.Table()); err != nil {
+		// The in-memory split already happened and the daughters hold
+		// the data; surface the persistence failure rather than
+		// attempting a lossy rollback. The parent directory is kept —
+		// the catalog still names the parent, so a cold start serves
+		// from it.
+		return fmt.Errorf("hbase: split %s: commit: %w", regionName, err)
+	}
+	m.crash("split.committed")
 	// The daughters are authoritative; stragglers still holding the
 	// parent's store see ErrClosed from here on. A durable parent's
 	// directory is reclaimed — its data now lives in the daughters'
 	// logs and SSTables.
-	parent.Store().Close()
-	if dd := rs.Config().DataDir; dd != "" {
-		_ = os.RemoveAll(regionDataDir(dd, parent.Name()))
-	}
+	discardRegionStore(rs, parent)
 	return nil
 }
 

@@ -16,6 +16,10 @@ type Table struct {
 	name    string
 	bounds  []keyRange
 	regions []*Region // sorted by start key
+	// splitKeys preserves the creation-time pre-split points for the
+	// META catalog's table row (current region bounds live with the
+	// regions themselves and evolve through splits).
+	splitKeys []string
 }
 
 type keyRange struct {
@@ -25,7 +29,7 @@ type keyRange struct {
 // newTable computes the region boundaries induced by splitKeys: n keys
 // make n+1 regions, ["", k0), [k0, k1), ..., [kn-1, "").
 func newTable(name string, splitKeys []string) *Table {
-	t := &Table{name: name}
+	t := &Table{name: name, splitKeys: append([]string(nil), splitKeys...)}
 	start := ""
 	for _, k := range splitKeys {
 		t.bounds = append(t.bounds, keyRange{start: start, end: k})

@@ -180,7 +180,7 @@ func (s *Store) compactFilesLocked(sel CompactionSelection) (CompactionResult, e
 	// Phase 2: merge with no engine lock held. Reads bypass the block
 	// cache (compaction must not evict the serving working set) and are
 	// charged to the background I/O budget up front, file by file.
-	budget := s.cfg.CompactionBudget
+	budget := s.wiring.Load().budget
 	sources := make([]Iterator, 0, len(run))
 	for _, f := range run {
 		if budget != nil {
@@ -297,7 +297,8 @@ func (s *Store) NoteCompactionQueued(delta int64) {
 // flush raised the file count over the soft threshold. Called outside
 // all engine locks by the mutation paths and Flush.
 func (s *Store) maybeTriggerCompaction() {
-	if s.cfg.Compactor == nil || !s.compactionWanted.CompareAndSwap(true, false) {
+	trigger := s.wiring.Load().trigger
+	if trigger == nil || !s.compactionWanted.CompareAndSwap(true, false) {
 		return
 	}
 	s.mu.RLock()
@@ -311,7 +312,7 @@ func (s *Store) maybeTriggerCompaction() {
 	}
 	s.mu.RUnlock()
 	if s.cfg.MaxStoreFiles > 0 && p.NumFiles > s.cfg.MaxStoreFiles {
-		s.cfg.Compactor.CompactionNeeded(s, p)
+		trigger.CompactionNeeded(s, p)
 	}
 }
 
@@ -349,8 +350,8 @@ func (s *Store) releaseStall() {
 // wedged compactor degrades the store to unbounded file counts rather
 // than wedging writers forever. Every stalled nanosecond is accounted.
 func (s *Store) maybeStall() {
-	hard := s.cfg.HardMaxStoreFiles
-	if s.cfg.Compactor == nil || hard <= 0 {
+	w := s.wiring.Load()
+	if w.trigger == nil || w.hardMax <= 0 {
 		return
 	}
 	// Never park on a gate while a compaction request is still latched
@@ -361,8 +362,12 @@ func (s *Store) maybeStall() {
 	var timer *time.Timer
 	for {
 		gate := s.stallGateChan()
+		// Re-read the wiring every pass: a rewire (region move) releases
+		// the gate, and the waiter must judge the ceiling — or its
+		// absence — against the store's new home, not the old one.
+		w = s.wiring.Load()
 		s.mu.RLock()
-		over := !s.closed && !s.sealed && len(s.files) >= hard
+		over := !s.closed && !s.sealed && w.trigger != nil && w.hardMax > 0 && len(s.files) >= w.hardMax
 		s.mu.RUnlock()
 		if !over {
 			break

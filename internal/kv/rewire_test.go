@@ -1,0 +1,79 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSetCompactionReroutesTrigger: after a rewire (a region move), a
+// flush crossing the soft threshold must notify the NEW trigger only —
+// the old server's pool no longer hears about this store.
+func TestSetCompactionReroutesTrigger(t *testing.T) {
+	oldTrig, newTrig := &recordingTrigger{}, &recordingTrigger{}
+	s := NewStore(Config{MemstoreFlushBytes: 1 << 30, MaxStoreFiles: 2, BlockBytes: 256, Compactor: oldTrig})
+	defer s.Close()
+
+	s.SetCompaction(newTrig, nil, 0)
+	for b := 0; b < 4; b++ {
+		s.Put(fmt.Sprintf("k%d", b), []byte("v"))
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldTrig.mu.Lock()
+	oldCalls := len(oldTrig.calls)
+	oldTrig.mu.Unlock()
+	newTrig.mu.Lock()
+	newCalls := len(newTrig.calls)
+	newTrig.mu.Unlock()
+	if oldCalls != 0 {
+		t.Fatalf("old trigger still notified %d times after rewire", oldCalls)
+	}
+	if newCalls == 0 {
+		t.Fatal("new trigger never notified after rewire")
+	}
+}
+
+// TestSetCompactionReleasesStalledWriter: a writer parked on the hard
+// file ceiling must wake and proceed when the store is rewired to a
+// home without stalling (trigger nil), not wait out its stall timeout
+// against a pool that no longer services it.
+func TestSetCompactionReleasesStalledWriter(t *testing.T) {
+	trig := &recordingTrigger{}
+	s := NewStore(Config{
+		MemstoreFlushBytes: 1 << 30,
+		MaxStoreFiles:      1,
+		HardMaxStoreFiles:  2,
+		StallTimeout:       30 * time.Second, // far beyond the test: release must come from the rewire
+		BlockBytes:         256,
+		Compactor:          trig,
+	})
+	defer s.Close()
+	for b := 0; b < 2; b++ {
+		s.Put(fmt.Sprintf("k%d", b), []byte("v"))
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- s.Put("stalled", []byte("v")) }()
+	select {
+	case err := <-done:
+		t.Fatalf("writer did not stall at the hard ceiling (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.SetCompaction(nil, nil, -1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released write failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("rewire did not release the stalled writer")
+	}
+	if v, err := s.Get("stalled"); err != nil || string(v) != "v" {
+		t.Fatalf("released write not visible: %q, %v", v, err)
+	}
+}

@@ -239,6 +239,22 @@ type Store struct {
 	compactionWanted atomic.Bool
 	stallMu          sync.Mutex
 	stallGate        chan struct{}
+
+	// wiring is the store's attribution plumbing — which scheduler
+	// services it, which I/O budget its bytes charge, where writers
+	// stall. It starts as the Config values but is swappable at runtime
+	// (SetCompaction) because a region move re-homes a live store onto
+	// another server's compactor pool; an atomic pointer keeps the
+	// lock-free readers (maybeStall, maybeTriggerCompaction, phase-2
+	// compaction I/O) racing a rewire safe.
+	wiring atomic.Pointer[compactionWiring]
+}
+
+// compactionWiring bundles the rewirable background-compaction hooks.
+type compactionWiring struct {
+	trigger CompactionTrigger
+	budget  IOBudget
+	hardMax int
 }
 
 // NewStore creates an empty in-memory store with the given configuration.
@@ -250,11 +266,17 @@ func NewStore(cfg Config) *Store {
 	if cache == nil {
 		cache = NewBlockCache(cfg.BlockCacheBytes)
 	}
-	return &Store{
+	s := &Store{
 		cfg:   cfg,
 		mem:   NewMemstore(cfg.Seed),
 		cache: cache,
 	}
+	s.wiring.Store(&compactionWiring{
+		trigger: cfg.Compactor,
+		budget:  cfg.CompactionBudget,
+		hardMax: cfg.HardMaxStoreFiles,
+	})
+	return s
 }
 
 // OpenStore creates a store and, when Config.OpenBackend is set, opens
@@ -325,8 +347,39 @@ func replayWAL(w WAL) ([]Entry, error) {
 	return w.Entries(), nil
 }
 
-// Config returns the store's configuration.
+// Config returns the store's configuration. Note that the background-
+// compaction hooks (Compactor, CompactionBudget, HardMaxStoreFiles) may
+// have been rewired since the store was opened — see SetCompaction.
 func (s *Store) Config() Config { return s.cfg }
+
+// WAL exposes the store's write-ahead log (nil for stores that do not
+// log). Embedders that re-home a store use it to swap log-level
+// accounting hooks alongside SetCompaction.
+func (s *Store) WAL() WAL { return s.cfg.WAL }
+
+// SetCompaction rewires the store's background-compaction plumbing to a
+// new scheduler, I/O budget and hard file ceiling — the engine half of
+// re-homing a live store onto a different server (a region move): from
+// the next flush on, compaction requests go to trigger, compaction and
+// flush bytes charge budget, and writers stall against hardMax.
+// hardMax is normalized exactly like Config.HardMaxStoreFiles (0 =
+// 3×MaxStoreFiles, negative disables); a nil trigger reverts the store
+// to inline compaction at flush time. The swap is atomic: a concurrent
+// writer observes either the old wiring or the new, never a mix.
+func (s *Store) SetCompaction(trigger CompactionTrigger, budget IOBudget, hardMax int) {
+	if s.cfg.MaxStoreFiles < 0 {
+		hardMax = -1
+	} else if hardMax == 0 {
+		hardMax = 3 * s.cfg.MaxStoreFiles
+	} else if hardMax > 0 && hardMax <= s.cfg.MaxStoreFiles {
+		hardMax = s.cfg.MaxStoreFiles + 1
+	}
+	s.wiring.Store(&compactionWiring{trigger: trigger, budget: budget, hardMax: hardMax})
+	// A writer parked on the old server's stall gate must not wait for a
+	// pool that no longer services this store; wake it to re-evaluate
+	// against the new wiring.
+	s.releaseStall()
+}
 
 // Recovered returns the number of WAL entries replayed when the store
 // was opened (0 for in-memory stores).
@@ -560,17 +613,18 @@ func (s *Store) flushLocked() error {
 	s.files = append([]*StoreFile{f}, s.files...)
 	s.stats.flushes.Add(1)
 	s.stats.flushedBytes.Add(int64(f.Bytes()))
-	if s.cfg.CompactionBudget != nil {
+	w := s.wiring.Load()
+	if w.budget != nil {
 		// Flush I/O is foreground: it is accounted against the shared
 		// budget (so compaction yields to it) but never blocked.
-		s.cfg.CompactionBudget.NoteForeground(f.Bytes())
+		w.budget.NoteForeground(f.Bytes())
 	}
 	s.mem = NewMemstore(s.cfg.Seed + f.ID())
 	if s.cfg.WAL != nil {
 		s.cfg.WAL.Truncate(maxTS)
 	}
 	if s.cfg.MaxStoreFiles > 0 && len(s.files) > s.cfg.MaxStoreFiles {
-		if s.cfg.Compactor == nil {
+		if w.trigger == nil {
 			// Legacy inline path (simulation backend): compact under
 			// the write lock, as before background compaction existed.
 			return s.compactLocked(false)

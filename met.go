@@ -33,6 +33,27 @@
 //     NewClusterConfig to build a durable cluster, or `metbench
 //     -durable DIR` to drive one under YCSB load.
 //
+// # Cold start
+//
+// A durable cluster persists more than region data: its *layout* —
+// server membership and per-server configs, table schemas, region
+// bounds and the region→server assignment — is written through to a
+// META catalog, itself a durable kv store under DataDir/meta (HBase's
+// META table, one level down; see met/internal/hbase/catalog.go for
+// the row format and commit ordering). After a crash or clean stop,
+//
+//	cluster, err := met.OpenCluster(dataDir)
+//
+// rebuilds the entire cluster from the data directory alone: servers
+// are re-created with their persisted configurations, every region
+// store reopens from its own directory (WAL replay recovers every
+// acknowledged write), and client routing works immediately — no
+// CreateTable, no manual assignment. Operations that crashed before
+// their catalog commit point are cleanly absent, never half-applied.
+// `metbench -coldstart -durable DIR` drives this end to end: it
+// hard-stops a loaded cluster mid-run, reopens it, and verifies every
+// acknowledged write is readable through normal routing.
+//
 // On either backend, compaction runs in the background: each region
 // server owns a compactor pool (met/internal/compaction) that merges
 // store files off the engine locks, with a pluggable tiered/leveled
@@ -85,6 +106,16 @@ const (
 	Scan      = placement.Scan
 )
 
+// Sentinel errors re-exported for embedders steering cluster lifecycle.
+var (
+	// ErrClusterExists: NewClusterConfig's DataDir already holds a
+	// committed cluster; cold-start it with OpenCluster instead.
+	ErrClusterExists = hbase.ErrClusterExists
+	// ErrTableExists: the table name is taken — typically because a
+	// cold start already recovered it.
+	ErrTableExists = hbase.ErrTableExists
+)
+
 // DefaultServerConfig returns an out-of-the-box tuned homogeneous node
 // configuration.
 func DefaultServerConfig() ServerConfig { return hbase.DefaultServerConfig() }
@@ -110,11 +141,38 @@ func NewClusterConfig(n int, cfg ServerConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("met: cluster needs at least one server, got %d", n)
 	}
 	nn := hdfs.NewNamenode(2)
-	m := hbase.NewMaster(nn)
+	var m *hbase.Master
+	if cfg.DataDir != "" {
+		// A durable cluster persists its own layout: the META catalog
+		// under DataDir records server membership, table schemas and the
+		// region assignment, so the whole cluster can later cold-start
+		// with OpenCluster(DataDir) alone.
+		var err error
+		m, err = hbase.NewDurableMaster(nn, cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		m = hbase.NewMaster(nn)
+	}
 	for i := 0; i < n; i++ {
 		if _, err := m.AddServer(fmt.Sprintf("rs%d", i), cfg); err != nil {
 			return nil, err
 		}
+	}
+	return &Cluster{Master: m, Client: hbase.NewClient(m)}, nil
+}
+
+// OpenCluster cold-starts a previously durable cluster from its data
+// directory alone: the META catalog is replayed, every region server is
+// re-created with its persisted configuration, every region store is
+// reopened from disk (recovering all acknowledged writes), and routing
+// is rebuilt — no CreateTable or manual assignment needed. See the
+// "Cold start" section of the package documentation.
+func OpenCluster(dataDir string) (*Cluster, error) {
+	m, err := hbase.OpenCluster(dataDir)
+	if err != nil {
+		return nil, err
 	}
 	return &Cluster{Master: m, Client: hbase.NewClient(m)}, nil
 }
