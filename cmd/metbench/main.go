@@ -37,6 +37,7 @@ import (
 	"met/internal/compaction"
 	"met/internal/hbase"
 	"met/internal/kv"
+	"met/internal/replication"
 	"met/internal/sim"
 	"met/internal/tpcc"
 	"met/internal/ycsb"
@@ -66,7 +67,10 @@ type result struct {
 	PerOpNs     map[string]float64 `json:"per_op_ns,omitempty"`
 	Engine      *engineState       `json:"engine,omitempty"`
 	Compaction  *compactionState   `json:"compaction,omitempty"`
-	Cluster     []serverState      `json:"cluster"`
+	Replication *replicationState  `json:"replication,omitempty"`
+	// LostWrites is the failover scenario's reported data loss.
+	LostWrites int64         `json:"lost_writes,omitempty"`
+	Cluster    []serverState `json:"cluster"`
 }
 
 // engineState summarizes kv engine counters (per server, and summed
@@ -97,16 +101,39 @@ type compactionState struct {
 	BackgroundBytes int64   `json:"background_bytes"`
 }
 
+// replicationState summarizes a server's SSTable shipper.
+type replicationState struct {
+	QueueDepth   int   `json:"queue_depth"`
+	FilesShipped int64 `json:"files_shipped"`
+	BytesShipped int64 `json:"bytes_shipped"`
+	FilesRetired int64 `json:"files_retired"`
+	Syncs        int64 `json:"syncs"`
+	Failures     int64 `json:"failures"`
+}
+
+// newReplicationState converts a replicator snapshot for the report.
+func newReplicationState(rs replication.Stats) *replicationState {
+	return &replicationState{
+		QueueDepth:   rs.QueueDepth + rs.Active,
+		FilesShipped: rs.FilesShipped,
+		BytesShipped: rs.BytesShipped,
+		FilesRetired: rs.FilesRetired,
+		Syncs:        rs.Syncs,
+		Failures:     rs.Failures,
+	}
+}
+
 // serverState is one region server's post-run engine state.
 type serverState struct {
-	Name       string           `json:"name"`
-	Regions    int              `json:"regions"`
-	Reads      int64            `json:"reads"`
-	Writes     int64            `json:"writes"`
-	Scans      int64            `json:"scans"`
-	Locality   float64          `json:"locality"`
-	Engine     *engineState     `json:"engine,omitempty"`
-	Compaction *compactionState `json:"compaction,omitempty"`
+	Name        string            `json:"name"`
+	Regions     int               `json:"regions"`
+	Reads       int64             `json:"reads"`
+	Writes      int64             `json:"writes"`
+	Scans       int64             `json:"scans"`
+	Locality    float64           `json:"locality"`
+	Engine      *engineState      `json:"engine,omitempty"`
+	Compaction  *compactionState  `json:"compaction,omitempty"`
+	Replication *replicationState `json:"replication,omitempty"`
 }
 
 // newEngineState converts a kv stats snapshot for the JSON report.
@@ -154,6 +181,8 @@ func main() {
 		"sustained write-heavy scenario: workload B (100% update), bigger values and a tiny heap so flushes, background compactions and write stalls actually happen during the run")
 	coldstart := flag.Bool("coldstart", false,
 		"cold-start scenario (requires -durable): write acknowledged rows across two tables, move a region, hard-stop the whole cluster mid-run, reopen it from the data directory alone (met.OpenCluster) and verify every acknowledged write plus the recovered layout")
+	failover := flag.Bool("failover", false,
+		"failover scenario (requires -durable): 3+ servers with replication factor 2, write acknowledged rows, cleanly flush and quiesce replication, hard-kill one server AND rename its primary region directories away, Master.RecoverServer from the replica SSTables alone, verify zero reported loss and every acknowledged row")
 	maxFiles := flag.Int("max-store-files", 0, "soft store-file threshold triggering background compaction (0 = default)")
 	stallFiles := flag.Int("stall-files", 0, "hard store-file ceiling stalling writers (0 = 3x soft threshold)")
 	compactPolicy := flag.String("compact-policy", "", "background compaction policy: tiered or leveled (default tiered)")
@@ -190,6 +219,13 @@ func main() {
 			log.Fatal("metbench: -coldstart requires -durable DIR")
 		}
 		runColdStart(*durableDir, cfg, *servers, *ops, *seed, *jsonOut)
+		return
+	}
+	if *failover {
+		if *durableDir == "" {
+			log.Fatal("metbench: -failover requires -durable DIR")
+		}
+		runFailover(*durableDir, cfg, *servers, *ops, *seed, *jsonOut)
 		return
 	}
 	cluster, err := met.NewClusterConfig(*servers, cfg)
@@ -232,12 +268,15 @@ func main() {
 	fmt.Println("cluster state:")
 	var engineTotal kv.Stats
 	var poolTotal compaction.PoolStats
+	var repTotal replication.Stats
 	for _, rs := range cluster.Master.Servers() {
 		req := rs.Requests()
 		eng := rs.EngineStats()
 		cs := rs.CompactionStats()
+		reps := rs.ReplicationStats()
 		engineTotal = engineTotal.Add(eng)
 		poolTotal = poolTotal.Add(cs)
+		repTotal = repTotal.Add(reps)
 		fmt.Printf("  %s: regions=%d reads=%d writes=%d scans=%d locality=%.2f [%s]\n",
 			rs.Name(), rs.NumRegions(), req.Reads, req.Writes, req.Scans, rs.Locality(), rs.Config())
 		fmt.Printf("    engine: flushes=%d compactions=%d queue=%d stall=%.1fms write-amp=%.2f\n",
@@ -246,17 +285,22 @@ func main() {
 		res.Cluster = append(res.Cluster, serverState{
 			Name: rs.Name(), Regions: rs.NumRegions(),
 			Reads: req.Reads, Writes: req.Writes, Scans: req.Scans,
-			Locality:   rs.Locality(),
-			Engine:     newEngineState(eng),
-			Compaction: newCompactionState(cs),
+			Locality:    rs.Locality(),
+			Engine:      newEngineState(eng),
+			Compaction:  newCompactionState(cs),
+			Replication: newReplicationState(reps),
 		})
 	}
 	res.Engine = newEngineState(engineTotal)
 	res.Compaction = newCompactionState(poolTotal)
+	res.Replication = newReplicationState(repTotal)
 	fmt.Printf("engine totals: flushes=%d compactions=%d compacted=%dKB stall=%.1fms write-amp=%.2f budget-wait=%.1fms\n",
 		engineTotal.Flushes, engineTotal.Compactions, engineTotal.CompactedBytes>>10,
 		float64(engineTotal.StallNanos)/1e6, engineTotal.WriteAmplification,
 		float64(poolTotal.Budget.WaitNanos)/1e6)
+	fmt.Printf("replication totals: shipped=%d files (%dKB), retired=%d, syncs=%d, failures=%d\n",
+		repTotal.FilesShipped, repTotal.BytesShipped>>10, repTotal.FilesRetired,
+		repTotal.Syncs, repTotal.Failures)
 	if *jsonOut != "" {
 		buf, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -561,6 +605,156 @@ func runColdStart(dataDir string, cfg met.ServerConfig, servers, ops int, seed u
 			log.Fatal(err)
 		}
 	}
+}
+
+// runFailover is the replica-recovery proof: acknowledged rows land
+// across two tables and every server with replication factor 2, every
+// store is cleanly flushed and replication quiesced, then one server is
+// hard-killed AND its primary region directories are renamed away
+// (simulating its disk dying with it). Master.RecoverServer must reopen
+// the dead server's regions on the followers holding their replica
+// SSTables — provably from the copies alone — report exactly zero lost
+// writes, and every acknowledged row must read back through normal
+// client routing. The cluster must then keep serving, and a full cold
+// start of the recovered layout must succeed. Any violation exits
+// non-zero, so CI runs this as a per-PR gate.
+func runFailover(dataDir string, cfg met.ServerConfig, servers, ops int, seed uint64, jsonOut string) {
+	if servers < 3 {
+		fmt.Fprintln(os.Stderr, "metbench: -failover raises -servers to 3 (quorum for replication factor 2 plus a survivor)")
+		servers = 3
+	}
+	// Small heap: flushes produce real SSTables for replication to ship
+	// at bench volumes.
+	cfg.HeapBytes = 1 << 20
+	cluster, err := met.NewClusterConfig(servers, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, c := cluster.Master, cluster.Client
+	tables := []string{"orders", "users"}
+	splits := map[string][]string{"users": {"g", "p"}, "orders": {"m"}}
+	for _, tn := range tables {
+		if _, err := m.CreateTable(tn, splits[tn]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(seed)
+	acked := make(map[string]map[string]string, len(tables))
+	for _, tn := range tables {
+		acked[tn] = make(map[string]string)
+	}
+	fmt.Printf("failover: writing %d rows across %d tables on %d servers (replication=2)...\n",
+		ops, len(tables), servers)
+	for i := 0; i < ops; i++ {
+		tn := tables[rng.Intn(len(tables))]
+		key := fmt.Sprintf("%c%07x", byte('a'+rng.Intn(26)), rng.Uint64()&0xfffffff)
+		val := fmt.Sprintf("%s/%s/v%d", tn, key, i)
+		if err := c.Put(tn, key, []byte(val)); err != nil {
+			log.Fatalf("metbench: failover put %s/%s: %v", tn, key, err)
+		}
+		acked[tn][key] = val
+	}
+
+	// Clean flush + replication barrier: after this, losing any single
+	// server must lose nothing.
+	for _, rs := range m.Servers() {
+		for _, r := range rs.Regions() {
+			if err := r.Store().Flush(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	m.QuiesceReplication()
+
+	// Hard-kill the server hosting the most data and take its primary
+	// directories with it: recovery must come from the replicas.
+	var victim *hbase.RegionServer
+	for _, rs := range m.Servers() {
+		if victim == nil || rs.NumRegions() > victim.NumRegions() {
+			victim = rs
+		}
+	}
+	victimRegions := victim.Regions()
+	if len(victimRegions) == 0 {
+		log.Fatal("metbench: failover: victim hosts no regions")
+	}
+	fmt.Printf("failover: hard-killing %s (%d regions) and quarantining its primary directories...\n",
+		victim.Name(), len(victimRegions))
+	victim.Shutdown()
+	for _, r := range victimRegions {
+		dir := hbase.RegionDataDir(dataDir, r.Name())
+		if _, err := os.Stat(dir); err == nil {
+			if err := os.Rename(dir, dir+".quarantine"); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	report, err := m.RecoverServer(victim.Name())
+	if err != nil {
+		log.Fatalf("metbench: failover RecoverServer: %v", err)
+	}
+	if report.LostWrites != 0 {
+		log.Fatalf("metbench: failover lost %d acknowledged writes after a clean flush (report %+v)",
+			report.LostWrites, report)
+	}
+	for _, rec := range report.Regions {
+		if rec.ReplicaFiles == 0 {
+			log.Fatalf("metbench: failover: region %s recovered with zero replica files — nothing was shipped", rec.Region)
+		}
+		fmt.Printf("failover: %s -> %s on %s (%d replica SSTables, %d lost)\n",
+			rec.Region, rec.NewRegion, rec.Source, rec.ReplicaFiles, rec.LostWrites)
+	}
+	total := 0
+	for tn, rows := range acked {
+		for k, want := range rows {
+			v, err := c.Get(tn, k)
+			if err != nil || string(v) != want {
+				log.Fatalf("metbench: failover lost acknowledged write %s/%s: %q, %v", tn, k, v, err)
+			}
+			total++
+		}
+	}
+	// The cluster keeps serving after the failover...
+	if err := c.Put("users", "zz-post-failover", []byte("alive")); err != nil {
+		log.Fatalf("metbench: failover: cluster dead after recovery: %v", err)
+	}
+	// ...and the recovered layout survives a full cold start.
+	m.HardStop()
+	reopened, err := met.OpenCluster(dataDir)
+	if err != nil {
+		log.Fatalf("metbench: failover cold start after recovery: %v", err)
+	}
+	for tn, rows := range acked {
+		for k, want := range rows {
+			v, err := reopened.Client.Get(tn, k)
+			if err != nil || string(v) != want {
+				log.Fatalf("metbench: failover+coldstart lost %s/%s: %q, %v", tn, k, v, err)
+			}
+		}
+	}
+	fmt.Printf("failover: OK — %d acknowledged rows verified from replica SSTables alone, zero loss, layout cold-starts\n", total)
+	if jsonOut != "" {
+		res := &result{
+			Workload: "failover", Ops: ops, Servers: servers, Durable: true,
+			GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+			Completed:  int64(total),
+			LostWrites: report.LostWrites,
+		}
+		var repTotal replication.Stats
+		for _, rs := range reopened.Master.Servers() {
+			repTotal = repTotal.Add(rs.ReplicationStats())
+		}
+		res.Replication = newReplicationState(repTotal)
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	reopened.Master.HardStop()
 }
 
 func runTPCC(cluster *met.Cluster, txs int, seed uint64, res *result) {

@@ -57,6 +57,7 @@ func (s *ClusterSource) Observe(now sim.Time) ([]metrics.NodeObservation, []metr
 		}
 		eng := rs.EngineStats()
 		cs := rs.CompactionStats()
+		reps := rs.ReplicationStats()
 		nodes = append(nodes, metrics.NodeObservation{
 			At:   now,
 			Node: rs.Name(),
@@ -68,11 +69,13 @@ func (s *ClusterSource) Observe(now sim.Time) ([]metrics.NodeObservation, []metr
 			Requests: delta,
 			Locality: rs.Locality(),
 			Engine: metrics.EngineStats{
-				Flushes:              eng.Flushes,
-				Compactions:          eng.Compactions,
-				CompactionQueueDepth: eng.CompactionQueueDepth + int64(cs.Running),
-				StallNanos:           eng.StallNanos,
-				WriteAmplification:   eng.WriteAmplification,
+				Flushes:                 eng.Flushes,
+				Compactions:             eng.Compactions,
+				CompactionQueueDepth:    eng.CompactionQueueDepth + int64(cs.Running),
+				StallNanos:              eng.StallNanos,
+				WriteAmplification:      eng.WriteAmplification,
+				ReplicationQueueDepth:   int64(reps.QueueDepth + reps.Active),
+				ReplicationBytesShipped: reps.BytesShipped,
 			},
 		})
 		for _, r := range rs.Regions() {

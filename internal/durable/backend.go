@@ -60,8 +60,29 @@ func (b *Backend) WAL() kv.WAL { return b.wal }
 func (b *Backend) Log() *WAL { return b.wal }
 
 func (b *Backend) sstPath(id uint64) string {
-	return filepath.Join(b.dir, fmt.Sprintf("sst-%016d.sst", id))
+	return filepath.Join(b.dir, SSTableFileName(id))
 }
+
+// SSTableFileName is the canonical on-disk name for SSTable id; the
+// replication and snapshot subsystems reuse it so a directory seeded
+// with copied files is indistinguishable from one the backend wrote
+// itself (Load enumerates by this pattern).
+func SSTableFileName(id uint64) string {
+	return fmt.Sprintf("sst-%016d.sst", id)
+}
+
+// ParseSSTableFileName inverts SSTableFileName; ok is false for names
+// that are not SSTables (temp files, WAL segments, foreign debris).
+func ParseSSTableFileName(name string) (id uint64, ok bool) {
+	if _, err := fmt.Sscanf(name, "sst-%d.sst", &id); err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// FilePath implements kv.FileExporter: the stable on-disk path of
+// SSTable id, for byte-level shipping to replicas and snapshots.
+func (b *Backend) FilePath(id uint64) string { return b.sstPath(id) }
 
 // Create implements kv.StorageBackend: entries become an SSTable that is
 // durable (fsynced and atomically visible) before Create returns, which
@@ -135,8 +156,8 @@ func (b *Backend) Load(blockBytes int) ([]*kv.StoreFile, error) {
 	sort.Strings(paths)
 	var files []*kv.StoreFile
 	for _, p := range paths {
-		var id uint64
-		if _, err := fmt.Sscanf(filepath.Base(p), "sst-%d.sst", &id); err != nil {
+		id, ok := ParseSSTableFileName(filepath.Base(p))
+		if !ok {
 			continue
 		}
 		f, err := b.openFile(id, p)

@@ -15,11 +15,22 @@ package hbase
 // deletes), and each document additionally carries a monotonically
 // increasing Rev for observability:
 //
-//	cluster            -> {replication, splitSeq, rev}
-//	server/<name>      -> {config (ServerConfig incl. DataDir,
-//	                       compaction knobs), rev}
-//	table/<name>       -> {splitKeys, regions: [{name, start, end,
-//	                       server}], rev}
+//	cluster                  -> {replication, splitSeq, rev}
+//	server/<name>            -> {config (ServerConfig incl. DataDir,
+//	                             compaction knobs), rev}
+//	table/<name>             -> {splitKeys, regions: [{name, start,
+//	                             end, server, followers}], rev}
+//	snapshot/<table>/<name>  -> {table, regions: [{name, start, end,
+//	                             files: [sstable ids], maxTS (the WAL
+//	                             high-water mark the snapshot
+//	                             covers)}], rev}
+//
+// A region's followers — the servers holding replica copies of its
+// SSTables (met/internal/replication) — ride inside its table row, so
+// replica placement commits atomically with the layout that created
+// it. Snapshot rows are the manifest of Master.Snapshot: the exact
+// SSTable set archived under <DataDir>/snapshots, one fsynced Put as
+// the commit point.
 //
 // One row per table — not one per region — so every layout change a
 // single operation makes (create, move, split) commits as ONE durable
@@ -57,6 +68,25 @@ package hbase
 //	                   THEN delete the server row — a crash mid-drain
 //	                   cold-starts into the partially drained layout,
 //	                   which is consistent.
+//	Snapshot           flush and archive every region's SSTables under
+//	                   snapshots/, THEN put the snapshot row (the
+//	                   commit point) — a crash between leaves an
+//	                   orphan archive directory that OpenCluster
+//	                   sweeps; the snapshot is cleanly absent.
+//	RestoreSnapshot    bump splitSeq, build fresh gen-suffixed regions
+//	                   from the archived files, THEN put the table row
+//	                   (old layout atomically replaced), THEN reclaim
+//	                   the old regions' directories. Either side of a
+//	                   crash is a complete table; the losing side's
+//	                   directories are the orphans.
+//	RecoverServer      per dead region: copy its replica SSTables into
+//	                   a fresh gen-suffixed directory on a follower,
+//	                   open it, THEN put the table row; finally delete
+//	                   the dead server's row. A crash mid-way
+//	                   cold-starts the partially recovered layout
+//	                   (recovered regions on their followers, the rest
+//	                   still on the — then revived — dead server) and
+//	                   RecoverServer can simply be re-run.
 //
 // # Recovery order
 //
@@ -69,8 +99,10 @@ package hbase
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"met/internal/durable"
@@ -82,6 +114,7 @@ const (
 	catalogClusterKey  = "cluster"
 	catalogServerPfx   = "server/"
 	catalogTablePfx    = "table/"
+	catalogSnapshotPfx = "snapshot/"
 	catalogDirName     = "meta"
 	catalogMemstore    = 1 << 20
 	catalogStoreSplits = 4
@@ -110,11 +143,40 @@ type tableRow struct {
 }
 
 // regionRow is one region's bounds and assignment inside a tableRow.
+// Followers records which servers hold replica copies of the region's
+// SSTables (met/internal/replication); RecoverServer and OpenCluster
+// rediscover replica placement from it.
 type regionRow struct {
-	Name   string `json:"name"`
-	Start  string `json:"start"`
-	End    string `json:"end,omitempty"`
-	Server string `json:"server"`
+	Name      string   `json:"name"`
+	Start     string   `json:"start"`
+	End       string   `json:"end,omitempty"`
+	Server    string   `json:"server"`
+	Followers []string `json:"followers,omitempty"`
+}
+
+// snapshotRow is the manifest of one point-in-time table snapshot: the
+// exact SSTable set archived per region, plus each region's WAL
+// high-water mark (the store's logical clock at snapshot time — every
+// mutation with a timestamp at or below it is inside the archived
+// files, everything above is not part of the snapshot).
+type snapshotRow struct {
+	Table   string           `json:"table"`
+	Regions []snapshotRegion `json:"regions"`
+	Rev     uint64           `json:"rev"`
+}
+
+// snapshotRegion is one region's contribution to a snapshot manifest.
+type snapshotRegion struct {
+	Name  string   `json:"name"`
+	Start string   `json:"start"`
+	End   string   `json:"end,omitempty"`
+	Files []uint64 `json:"files"`
+	MaxTS uint64   `json:"max_ts"`
+}
+
+// snapshotKey builds the catalog key of one snapshot row.
+func snapshotKey(table, name string) string {
+	return catalogSnapshotPfx + table + "/" + name
 }
 
 // catalog is the Master's handle on the META store. All mutations
@@ -171,52 +233,87 @@ func (c *catalog) delete(key string) error {
 	return nil
 }
 
+// get reads and unmarshals one row into out; ok=false when absent.
+func (c *catalog) get(key string, out any) (bool, error) {
+	buf, err := c.store.Get(key)
+	if err != nil {
+		if errors.Is(err, kv.ErrNotFound) {
+			return false, nil
+		}
+		return false, fmt.Errorf("hbase: catalog read %s: %w", key, err)
+	}
+	if err := json.Unmarshal(buf, out); err != nil {
+		return false, fmt.Errorf("hbase: catalog decode %s: %w", key, err)
+	}
+	return true, nil
+}
+
 // nextRev mints the next row revision. Callers hold c.mu.
 func (c *catalog) nextRev() uint64 {
 	c.rev++
 	return c.rev
 }
 
+// catalogState is everything loadAll recovers: the typed rows of the
+// whole catalog, keyed the way recovery consumes them (snapshots by
+// "<table>/<name>").
+type catalogState struct {
+	cluster   clusterRow
+	servers   map[string]serverRow
+	tables    map[string]tableRow
+	snapshots map[string]snapshotRow
+}
+
 // loadAll scans the whole catalog into its typed rows, restoring the
 // revision counter past every recovered revision.
-func (c *catalog) loadAll() (clusterRow, map[string]serverRow, map[string]tableRow, error) {
+func (c *catalog) loadAll() (catalogState, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	cluster := clusterRow{Replication: 2}
-	servers := make(map[string]serverRow)
-	tables := make(map[string]tableRow)
+	st := catalogState{
+		cluster:   clusterRow{Replication: 2},
+		servers:   make(map[string]serverRow),
+		tables:    make(map[string]tableRow),
+		snapshots: make(map[string]snapshotRow),
+	}
 	entries, err := c.store.Scan("", "", -1)
 	if err != nil {
-		return cluster, nil, nil, fmt.Errorf("hbase: catalog scan: %w", err)
+		return st, fmt.Errorf("hbase: catalog scan: %w", err)
 	}
 	for _, e := range entries {
 		var rev uint64
 		switch {
 		case e.Key == catalogClusterKey:
-			if err := json.Unmarshal(e.Value, &cluster); err != nil {
-				return cluster, nil, nil, fmt.Errorf("hbase: catalog decode %s: %w", e.Key, err)
+			if err := json.Unmarshal(e.Value, &st.cluster); err != nil {
+				return st, fmt.Errorf("hbase: catalog decode %s: %w", e.Key, err)
 			}
-			rev = cluster.Rev
-		case len(e.Key) > len(catalogServerPfx) && e.Key[:len(catalogServerPfx)] == catalogServerPfx:
+			rev = st.cluster.Rev
+		case strings.HasPrefix(e.Key, catalogServerPfx):
 			var row serverRow
 			if err := json.Unmarshal(e.Value, &row); err != nil {
-				return cluster, nil, nil, fmt.Errorf("hbase: catalog decode %s: %w", e.Key, err)
+				return st, fmt.Errorf("hbase: catalog decode %s: %w", e.Key, err)
 			}
-			servers[e.Key[len(catalogServerPfx):]] = row
+			st.servers[e.Key[len(catalogServerPfx):]] = row
 			rev = row.Rev
-		case len(e.Key) > len(catalogTablePfx) && e.Key[:len(catalogTablePfx)] == catalogTablePfx:
+		case strings.HasPrefix(e.Key, catalogSnapshotPfx):
+			var row snapshotRow
+			if err := json.Unmarshal(e.Value, &row); err != nil {
+				return st, fmt.Errorf("hbase: catalog decode %s: %w", e.Key, err)
+			}
+			st.snapshots[e.Key[len(catalogSnapshotPfx):]] = row
+			rev = row.Rev
+		case strings.HasPrefix(e.Key, catalogTablePfx):
 			var row tableRow
 			if err := json.Unmarshal(e.Value, &row); err != nil {
-				return cluster, nil, nil, fmt.Errorf("hbase: catalog decode %s: %w", e.Key, err)
+				return st, fmt.Errorf("hbase: catalog decode %s: %w", e.Key, err)
 			}
-			tables[e.Key[len(catalogTablePfx):]] = row
+			st.tables[e.Key[len(catalogTablePfx):]] = row
 			rev = row.Rev
 		}
 		if rev > c.rev {
 			c.rev = rev
 		}
 	}
-	return cluster, servers, tables, nil
+	return st, nil
 }
 
 // close releases the catalog store (WAL and SSTable handles).

@@ -15,6 +15,7 @@ import (
 
 	"met/internal/hdfs"
 	"met/internal/kv"
+	"met/internal/testutil"
 )
 
 // newCatalogCluster builds a durable cluster whose master writes the
@@ -52,34 +53,15 @@ func regionDirNames(t *testing.T, dataDir string) []string {
 	return out
 }
 
-// crashSentinel marks a simulated hard kill raised by the crash hook.
-type crashSentinel struct{ point string }
-
-// crashAt runs op with the master's crash hook armed at point; op must
-// actually reach the point (and "die" there), or the test fails.
+// crashAt runs op with the master's crash hook armed at point via the
+// shared fault harness (met/internal/testutil); op must actually reach
+// the point (and "die" there), or the test fails.
 func crashAt(t *testing.T, m *Master, point string, op func()) {
 	t.Helper()
-	m.crashHook = func(p string) {
-		if p == point {
-			panic(crashSentinel{point: p})
-		}
-	}
+	inj := testutil.NewInjector()
+	m.crashHook = inj.Hook()
 	defer func() { m.crashHook = nil }()
-	crashed := false
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(crashSentinel); !ok {
-					panic(r)
-				}
-				crashed = true
-			}
-		}()
-		op()
-	}()
-	if !crashed {
-		t.Fatalf("operation never reached crash point %q", point)
-	}
+	testutil.CrashAt(t, inj, point, op)
 }
 
 // TestColdStartRecoversWholeCluster is the PR's acceptance criterion:

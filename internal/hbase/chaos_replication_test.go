@@ -1,0 +1,109 @@
+package hbase
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestReplicationFailoverChaos is the -race stress for the whole
+// subsystem at once: concurrent serving, background compaction,
+// replication shipping, and a mid-run hard kill + RecoverServer of one
+// server. The invariant: every row acknowledged before the
+// flush-and-quiesce barrier survives the failover; the cluster keeps
+// serving throughout and afterwards.
+func TestReplicationFailoverChaos(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	cfg.Compaction = CompactionConfig{MaxStoreFiles: 3, StallStoreFiles: 12}
+	m, c := newCatalogCluster(t, 3, dir, cfg)
+	t.Cleanup(m.HardStop)
+	if _, err := m.CreateTable("t", []string{"g", "p"}); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const opsPerWriter = 400
+	val := make([]byte, 256)
+
+	// Phase 1: concurrent load with compaction and shipping running.
+	var wg sync.WaitGroup
+	barrier := make([]map[string]string, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acked := make(map[string]string, opsPerWriter)
+			for i := 0; i < opsPerWriter; i++ {
+				k := fmt.Sprintf("%c%d-%05d", 'a'+byte((w*7+i)%26), w, i)
+				if err := c.Put("t", k, val); err != nil {
+					t.Errorf("phase1 put %s: %v", k, err)
+					return
+				}
+				acked[k] = string(val)
+			}
+			barrier[w] = acked
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	flushAll(t, m)
+	m.QuiesceReplication()
+
+	// Phase 2: keep writing while one server dies and is recovered.
+	victim, _ := victimAndKeys(t, m, "t")
+	stop := make(chan struct{})
+	var phase2 sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		phase2.Add(1)
+		go func(w int) {
+			defer phase2.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("%cz%d-%05d", 'a'+byte(i%26), w, i)
+				// Phase-2 writes race the kill and the reassignment;
+				// errors (ErrServerStopped, ErrWrongRegionServer,
+				// kv.ErrClosed, transient "unassigned") are the expected
+				// churn and these rows are not part of the verified set
+				// — what matters is that no Put deadlocks or corrupts.
+				_ = c.Put("t", k, val)
+			}
+		}(w)
+	}
+
+	victim.Shutdown()
+	report, err := m.RecoverServer(victim.Name())
+	close(stop)
+	phase2.Wait()
+	if err != nil {
+		t.Fatalf("mid-run RecoverServer: %v", err)
+	}
+	if report == nil || report.LostWrites < 0 {
+		t.Fatalf("bogus recovery report: %+v", report)
+	}
+
+	// Every acknowledged-and-flushed row survives the failover.
+	for w := 0; w < writers; w++ {
+		for k := range barrier[w] {
+			if _, err := c.Get("t", k); err != nil {
+				t.Fatalf("barrier row %s lost in chaos failover: %v", k, err)
+			}
+		}
+	}
+	// The cluster still serves and replicates.
+	if err := c.Put("t", "post-chaos", val); err != nil {
+		t.Fatalf("put after chaos: %v", err)
+	}
+	flushAll(t, m)
+	m.QuiesceReplication()
+	if _, err := m.Server(victim.Name()); !errors.Is(err, ErrUnknownServer) {
+		t.Fatalf("victim still a member after recovery: %v", err)
+	}
+}

@@ -40,11 +40,12 @@ func OpenCluster(dataDir string) (*Master, error) {
 	if err != nil {
 		return nil, err
 	}
-	cluster, servers, tables, err := cat.loadAll()
+	st, err := cat.loadAll()
 	if err != nil {
 		cat.close()
 		return nil, err
 	}
+	cluster, servers, tables := st.cluster, st.servers, st.tables
 	if len(servers) == 0 {
 		// A catalog with no committed membership is not a recoverable
 		// cluster (at most a cluster row from a creation that died before
@@ -104,6 +105,11 @@ func OpenCluster(dataDir string) (*Master, error) {
 			if err != nil {
 				return fail(fmt.Errorf("hbase: cold start: %w", err))
 			}
+			// Replica placement recovers from the catalog like the rest
+			// of the layout; the replicator reconciles the follower
+			// directories against the recovered stack (files already
+			// shipped are recognized, not re-copied).
+			r.SetFollowers(rr.Followers)
 			rs.OpenRegion(r)
 			t.addRegion(r)
 			m.mu.Lock()
@@ -119,6 +125,11 @@ func OpenCluster(dataDir string) (*Master, error) {
 	}
 
 	sweepOrphanRegions(dataDir, live)
+	sweepOrphanReplicas(dataDir, live, func(server string) bool {
+		_, ok := servers[server]
+		return ok
+	})
+	sweepOrphanSnapshots(dataDir, st.snapshots)
 	return m, nil
 }
 
@@ -136,6 +147,65 @@ func sweepOrphanRegions(dataDir string, live map[string]bool) {
 	for _, e := range entries {
 		if !live[e.Name()] {
 			_ = os.RemoveAll(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// sweepOrphanReplicas removes replica directories that no longer back a
+// live region: copies for regions a crashed operation abandoned (an
+// uncommitted split's daughters), for regions that were failed over to
+// new names, and whole per-server trees for servers that left the
+// cluster. Partial .tmp copies inside surviving directories are cleaned
+// lazily by the replicator's next reconciliation.
+func sweepOrphanReplicas(dataDir string, live map[string]bool, isMember func(string) bool) {
+	root := filepath.Join(dataDir, "replica")
+	servers, err := os.ReadDir(root)
+	if err != nil {
+		return // no replicas yet
+	}
+	for _, s := range servers {
+		name, uerr := url.PathUnescape(s.Name())
+		if uerr != nil || !isMember(name) {
+			_ = os.RemoveAll(filepath.Join(root, s.Name()))
+			continue
+		}
+		regions, err := os.ReadDir(filepath.Join(root, s.Name()))
+		if err != nil {
+			continue
+		}
+		for _, r := range regions {
+			if !live[r.Name()] {
+				_ = os.RemoveAll(filepath.Join(root, s.Name(), r.Name()))
+			}
+		}
+	}
+}
+
+// sweepOrphanSnapshots removes snapshot archive directories whose
+// manifest row never committed (Master.Snapshot crashed between the
+// archive copy and the catalog write): the snapshot is cleanly absent.
+func sweepOrphanSnapshots(dataDir string, snapshots map[string]snapshotRow) {
+	root := filepath.Join(dataDir, "snapshots")
+	tables, err := os.ReadDir(root)
+	if err != nil {
+		return // no snapshots yet
+	}
+	for _, td := range tables {
+		tn, terr := url.PathUnescape(td.Name())
+		names, err := os.ReadDir(filepath.Join(root, td.Name()))
+		if terr != nil || err != nil {
+			_ = os.RemoveAll(filepath.Join(root, td.Name()))
+			continue
+		}
+		for _, nd := range names {
+			sn, serr := url.PathUnescape(nd.Name())
+			if serr != nil {
+				_ = os.RemoveAll(filepath.Join(root, td.Name(), nd.Name()))
+				continue
+			}
+			if _, ok := snapshots[tn+"/"+sn]; !ok {
+				_ = os.RemoveAll(filepath.Join(root, td.Name(), nd.Name()))
+			}
 		}
 	}
 }

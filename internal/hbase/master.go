@@ -106,9 +106,12 @@ type Master struct {
 	// creating reserves table names mid-CreateTable so two concurrent
 	// creations of the same name cannot both pass the existence check;
 	// addingServer does the same for AddServer, whose catalog commit
-	// happens before the server becomes visible.
+	// happens before the server becomes visible; snapshotting does the
+	// same for Snapshot (keyed "table/name"), whose error path deletes
+	// the shared archive directory and must never race a committer.
 	creating     map[string]bool
 	addingServer map[string]bool
+	snapshotting map[string]bool
 	// assignment maps region name -> server name.
 	assignment map[string]string
 	balancer   Balancer
@@ -135,6 +138,7 @@ func NewMaster(nn *hdfs.Namenode) *Master {
 		tables:       make(map[string]*Table),
 		creating:     make(map[string]bool),
 		addingServer: make(map[string]bool),
+		snapshotting: make(map[string]bool),
 		assignment:   make(map[string]string),
 		balancer:     &RandomBalancer{},
 	}
@@ -153,13 +157,13 @@ func NewDurableMaster(nn *hdfs.Namenode, dataDir string) (*Master, error) {
 	// an existing cluster: silently building a fresh master over it
 	// would interleave two layouts in one catalog. Cold-starting is
 	// OpenCluster's job.
-	if _, servers, tables, err := cat.loadAll(); err != nil {
+	if st, err := cat.loadAll(); err != nil {
 		cat.close()
 		return nil, err
-	} else if len(servers) > 0 || len(tables) > 0 {
+	} else if len(st.servers) > 0 || len(st.tables) > 0 {
 		cat.close()
 		return nil, fmt.Errorf("%w: %q (%d servers, %d tables); use OpenCluster to cold-start it",
-			ErrClusterExists, dataDir, len(servers), len(tables))
+			ErrClusterExists, dataDir, len(st.servers), len(st.tables))
 	}
 	m := NewMaster(nn)
 	m.catalog = cat
@@ -228,7 +232,8 @@ func (m *Master) commitTable(t *Table) error {
 	for _, r := range t.Regions() {
 		row.Regions = append(row.Regions, regionRow{
 			Name: r.Name(), Start: r.StartKey(), End: r.EndKey(),
-			Server: m.assignment[r.Name()],
+			Server:    m.assignment[r.Name()],
+			Followers: r.Followers(),
 		})
 	}
 	m.mu.RUnlock()
@@ -245,6 +250,58 @@ func (m *Master) commitTableOf(name string) error {
 		return nil
 	}
 	return m.commitTable(t)
+}
+
+// pickFollowers chooses the servers that will hold replica copies of a
+// region hosted on host: replication−1 live datanodes, least-used
+// first, never the primary itself (hdfs.Namenode.PlaceFollowers — the
+// same placement policy HDFS applies to block replicas, now
+// load-bearing).
+func (m *Master) pickFollowers(host string) []string {
+	return m.namenode.PlaceFollowers(host, m.namenode.Replication()-1)
+}
+
+// refreshFollowersAfterLoss re-picks the follower set of every region
+// that listed the departed server (decommissioned or failed over) as a
+// replica target, committing each affected table's layout. Without
+// this, regions would keep shipping to — and a future recovery would
+// look for copies on — a server that no longer exists.
+func (m *Master) refreshFollowersAfterLoss(departed string) error {
+	var errs []error
+	for _, tn := range m.Tables() {
+		t, err := m.Table(tn)
+		if err != nil {
+			continue
+		}
+		changed := false
+		for _, r := range t.Regions() {
+			affected := false
+			for _, f := range r.Followers() {
+				if f == departed {
+					affected = true
+					break
+				}
+			}
+			if !affected {
+				continue
+			}
+			host, ok := m.HostOf(r.Name())
+			if !ok {
+				continue
+			}
+			r.SetFollowers(m.pickFollowers(host))
+			changed = true
+			if rs, err := m.Server(host); err == nil {
+				rs.notifyReplication(r.Name())
+			}
+		}
+		if changed {
+			if err := m.commitTable(t); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // SetBalancer swaps the placement policy.
@@ -321,6 +378,14 @@ func (m *Master) DecommissionServer(name string) error {
 		sort.SliceStable(targets, func(i, j int) bool { return targets[i].NumRegions() < targets[j].NumRegions() })
 		dst := targets[0]
 		rs.CloseRegion(r.Name())
+		// The drained region may land on its own follower; re-pick so
+		// the primary never replicates to itself.
+		for _, f := range r.Followers() {
+			if f == dst.Name() {
+				r.SetFollowers(m.pickFollowers(dst.Name()))
+				break
+			}
+		}
 		dst.OpenRegion(r)
 		m.mu.Lock()
 		m.assignment[r.Name()] = dst.Name()
@@ -334,9 +399,15 @@ func (m *Master) DecommissionServer(name string) error {
 		}
 	}
 	m.crash("decommission.drained")
-	rs.Shutdown() // stop serving and drain the background compactor
+	rs.Shutdown() // stop serving and drain the compactor and replicator
 	m.namenode.RemoveDatanode(name)
 	if err := m.dropServer(name); err != nil {
+		errs = append(errs, err)
+	}
+	// Regions elsewhere that replicated onto this server need new
+	// followers; their old replica directories become orphans the next
+	// cold start sweeps.
+	if err := m.refreshFollowersAfterLoss(name); err != nil {
 		errs = append(errs, err)
 	}
 	return errors.Join(errs...)
@@ -463,6 +534,7 @@ func (m *Master) CreateTable(name string, splitKeys []string) (*Table, error) {
 			unwind()
 			return nil, fmt.Errorf("hbase: create table %q: %w", name, err)
 		}
+		r.SetFollowers(m.pickFollowers(host))
 		rs.OpenRegion(r)
 		t.addRegion(r)
 		m.mu.Lock()
@@ -548,6 +620,15 @@ func (m *Master) MoveRegion(regionName, dstServer string) error {
 	r := srcRS.CloseRegion(regionName)
 	if r == nil {
 		return fmt.Errorf("hbase: region %q not open on %q", regionName, src)
+	}
+	// A primary landing on one of its own followers degenerates the
+	// replica set (a copy co-located with the primary protects nothing);
+	// re-pick before the destination starts shipping.
+	for _, f := range r.Followers() {
+		if f == dstServer {
+			r.SetFollowers(m.pickFollowers(dstServer))
+			break
+		}
 	}
 	dstRS.OpenRegion(r)
 	m.mu.Lock()

@@ -50,6 +50,13 @@ type Region struct {
 	mirrorStore *kv.Store
 	mirror      map[uint64]mirrorFile
 	legacy      map[string]int64
+
+	// followers are the servers holding replica copies of this region's
+	// SSTables (met/internal/replication). The master assigns them via
+	// hdfs.Namenode placement, persists them in the region's catalog
+	// table row, and re-picks when the set degenerates (the primary
+	// moved onto a follower, or a follower left the cluster).
+	followers []string
 }
 
 // mirrorFile is one engine file's HDFS reflection.
@@ -115,6 +122,21 @@ func (r *Region) Contains(key string) bool {
 
 // Store exposes the backing engine (tests and the server use it).
 func (r *Region) Store() *kv.Store { return r.store.Load() }
+
+// Followers returns the servers replicating this region's SSTables.
+func (r *Region) Followers() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.followers...)
+}
+
+// SetFollowers replaces the replica target set (master only; the change
+// is persisted with the region's next table-row commit).
+func (r *Region) SetFollowers(followers []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.followers = append([]string(nil), followers...)
+}
 
 // Requests returns the cumulative request counters.
 func (r *Region) Requests() metrics.RequestCounts {

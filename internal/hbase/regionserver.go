@@ -14,6 +14,7 @@ import (
 	"met/internal/hdfs"
 	"met/internal/kv"
 	"met/internal/metrics"
+	"met/internal/replication"
 )
 
 // Common region server errors.
@@ -60,6 +61,12 @@ type RegionServer struct {
 	// threads). Nil when ServerConfig.Compaction.Workers < 0, which
 	// reverts stores to inline compaction at flush time.
 	compactor *compaction.Pool
+
+	// replicator ships every hosted region's SSTables to its followers'
+	// replica directories (met/internal/replication), charging the
+	// compactor pool's I/O budget as background bytes. Nil on the
+	// in-memory backend (no DataDir: nothing shippable).
+	replicator *replication.Replicator
 }
 
 // NewRegionServer creates a running server and registers its co-located
@@ -79,7 +86,30 @@ func NewRegionServer(name string, cfg ServerConfig, nn *hdfs.Namenode) (*RegionS
 		running:  true,
 	}
 	s.compactor = newCompactorPool(cfg.Compaction, s)
+	s.replicator = newReplicator(cfg, s.compactor)
 	return s, nil
+}
+
+// newReplicator builds the server's SSTable shipper; nil without a data
+// directory (the in-memory backend exports no files). The compactor
+// pool's token-bucket budget rate-limits shipping as background I/O;
+// with the pool disabled shipping is unthrottled.
+func newReplicator(cfg ServerConfig, pool *compaction.Pool) *replication.Replicator {
+	if cfg.DataDir == "" {
+		return nil
+	}
+	rc := replication.Config{}
+	if pool != nil {
+		rc.Budget = pool.Budget()
+	}
+	return replication.New(rc)
+}
+
+// replicaDir is the directory follower keeps its copy of a region's
+// SSTables in, under the shared cluster data root — the single-process
+// stand-in for the follower's local disk.
+func replicaDir(dataDir, follower, regionName string) string {
+	return filepath.Join(dataDir, "replica", url.PathEscape(follower), url.PathEscape(regionName))
 }
 
 // newCompactorPool builds the server-wide pool from the configured
@@ -96,8 +126,13 @@ func newCompactorPool(cc CompactionConfig, s *RegionServer) *compaction.Pool {
 		Policy:            compaction.NewPolicy(cc.Policy),
 		MaxStoreFiles:     cc.MaxStoreFiles,
 		OnCompacted: func(store *kv.Store, _ kv.CompactionResult) {
+			// Fan out: the HDFS locality mirror reconciles and the
+			// replicator retires the compacted-away SSTables from the
+			// followers (the store-level files-changed hook coalesces
+			// with this; both paths reconcile idempotently).
 			if r := s.regionOfStore(store); r != nil {
 				s.mirrorSync(r)
+				s.notifyReplication(r.Name())
 			}
 		},
 	})
@@ -150,6 +185,14 @@ func regionDataDir(dataDir, regionName string) string {
 	return filepath.Join(dataDir, "regions", url.PathEscape(regionName))
 }
 
+// RegionDataDir exposes the primary-directory mapping for tooling: the
+// metbench failover gate renames a killed server's region directories
+// aside before RecoverServer, proving recovery reads replica copies
+// only.
+func RegionDataDir(dataDir, regionName string) string {
+	return regionDataDir(dataDir, regionName)
+}
+
 // discardRegionStore closes r's store and reclaims its durable
 // directory: the shared teardown for regions abandoned mid-operation —
 // a failed CreateTable's unwind, a failed split's half-created
@@ -179,6 +222,13 @@ func (s *RegionServer) storeConfigFor(regionName string, numRegions int) kv.Conf
 		Cache:              s.cache,
 		Seed:               uint64(len(s.name)) + uint64(numRegions),
 		MaxStoreFiles:      s.cfg.Compaction.MaxStoreFiles,
+	}
+	if s.replicator != nil {
+		// The flush hook: a new SSTable enqueues the region for
+		// replication. Keyed by name, so the hook survives store swaps
+		// (restarts reopen with a fresh config carrying the same hook).
+		name := regionName
+		cfg.OnFilesChanged = func() { s.notifyReplication(name) }
 	}
 	var opts durable.Options
 	if s.compactor != nil {
@@ -223,10 +273,77 @@ func (s *RegionServer) OpenRegion(r *Region) {
 	// existing mirror bookkeeping stays valid.
 	r.resetMirror(r.Store(), true)
 	s.rewireStore(r.Store())
+	s.trackReplication(r)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.regions[r.Name()] = r
 	s.rebuildIndexLocked()
+	s.mu.Unlock()
+	// Catch up the followers on whatever the store already holds (a
+	// moved region's files, a cold-started region's recovered stack).
+	s.notifyReplication(r.Name())
+}
+
+// trackReplication registers a region with this server's replicator.
+// The closures read the region's current store and follower set on
+// every reconciliation, so restarts (store swaps) and follower re-picks
+// need no re-registration.
+func (s *RegionServer) trackReplication(r *Region) {
+	s.mu.RLock()
+	rep := s.replicator
+	dataDir := s.cfg.DataDir
+	s.mu.RUnlock()
+	if rep == nil {
+		// Re-homed onto a server without replication: drop the previous
+		// host's hook so flushes stop poking its replicator.
+		r.Store().SetFilesChanged(nil)
+		return
+	}
+	rep.Track(r.Name(),
+		func() ([]kv.ExportedFile, bool) { return r.Store().ExportFiles() },
+		func() []string {
+			followers := r.Followers()
+			dests := make([]string, 0, len(followers))
+			for _, f := range followers {
+				dests = append(dests, replicaDir(dataDir, f, r.Name()))
+			}
+			return dests
+		})
+	r.Store().SetFilesChanged(func() { s.notifyReplication(r.Name()) })
+}
+
+// notifyReplication enqueues a hosted region for replica
+// reconciliation; a no-op without a replicator.
+func (s *RegionServer) notifyReplication(region string) {
+	s.mu.RLock()
+	rep := s.replicator
+	s.mu.RUnlock()
+	if rep != nil {
+		rep.Notify(region)
+	}
+}
+
+// QuiesceReplication blocks until the replicator has shipped every
+// pending notification — the barrier between "cleanly flushed" and
+// "safe to lose the primary".
+func (s *RegionServer) QuiesceReplication() {
+	s.mu.RLock()
+	rep := s.replicator
+	s.mu.RUnlock()
+	if rep != nil {
+		rep.Quiesce()
+	}
+}
+
+// ReplicationStats snapshots the server's SSTable shipper (zero value
+// without one).
+func (s *RegionServer) ReplicationStats() replication.Stats {
+	s.mu.RLock()
+	rep := s.replicator
+	s.mu.RUnlock()
+	if rep == nil {
+		return replication.Stats{}
+	}
+	return rep.Stats()
 }
 
 // rewireStore re-homes a store's background-compaction attribution onto
@@ -255,11 +372,17 @@ func (s *RegionServer) rewireStore(st *kv.Store) {
 // CloseRegion stops hosting a region and returns it (nil when absent).
 func (s *RegionServer) CloseRegion(name string) *Region {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	r := s.regions[name]
+	rep := s.replicator
 	if r != nil {
 		delete(s.regions, name)
 		s.rebuildIndexLocked()
+	}
+	s.mu.Unlock()
+	if r != nil && rep != nil {
+		// The region is no longer ours to ship; its next host re-tracks
+		// it (OpenRegion) against its own replicator.
+		rep.Untrack(name)
 	}
 	return r
 }
@@ -480,17 +603,24 @@ func (s *RegionServer) Compactor() *compaction.Pool {
 	return s.compactor
 }
 
-// Shutdown stops the server permanently: serving stops and the
-// background compactor drains. Decommissioning calls this; a plain Stop
-// (reconfiguration restart) keeps the pool alive.
+// Shutdown stops the server permanently: serving stops, the background
+// compactor drains, and the replicator stops shipping (a dead server
+// pushes nothing — its followers already hold whatever was shipped).
+// Decommissioning and HardStop call this; a plain Stop (reconfiguration
+// restart) keeps both alive.
 func (s *RegionServer) Shutdown() {
 	s.mu.Lock()
 	s.running = false
 	pool := s.compactor
 	s.compactor = nil
+	rep := s.replicator
+	s.replicator = nil
 	s.mu.Unlock()
 	if pool != nil {
 		pool.Close()
+	}
+	if rep != nil {
+		rep.Close()
 	}
 }
 
@@ -520,7 +650,9 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 	s.mu.Lock()
 	s.running = false
 	oldCompaction := s.cfg.Compaction
+	oldDataDir := s.cfg.DataDir
 	oldPool := s.compactor
+	oldRep := s.replicator
 	s.cfg = cfg
 	s.cache = kv.NewBlockCache(int(cfg.BlockCacheBytes()))
 	if cfg.Compaction != oldCompaction {
@@ -528,6 +660,12 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 		// HBase setting: the old pool drains and a fresh one (new
 		// budget, policy, workers) serves the reopened stores.
 		s.compactor = newCompactorPool(cfg.Compaction, s)
+	}
+	rewireReplication := cfg.Compaction != oldCompaction || cfg.DataDir != oldDataDir
+	if rewireReplication {
+		// The replicator budgets through the compactor pool, so a pool
+		// swap (or a backend change) rebuilds it too.
+		s.replicator = newReplicator(cfg, s.compactor)
 	}
 	regions := make([]*Region, 0, len(s.regions))
 	for _, r := range s.regions {
@@ -537,6 +675,9 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 	s.mu.Unlock()
 	if cfg.Compaction != oldCompaction && oldPool != nil {
 		oldPool.Close()
+	}
+	if rewireReplication && oldRep != nil {
+		oldRep.Close()
 	}
 
 	sort.Slice(regions, func(i, j int) bool { return regions[i].Name() < regions[j].Name() })
@@ -563,6 +704,11 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 			}
 			continue
 		}
+		// Re-track against the (possibly fresh) replicator: the reopened
+		// store needs its files-changed hook and the shipper must know
+		// the region, or post-restart flushes would never replicate.
+		s.trackReplication(r)
+		s.notifyReplication(r.Name())
 	}
 	s.mu.Lock()
 	s.restarts++

@@ -115,6 +115,10 @@ func (m *Master) SplitRegion(regionName string) error {
 	for _, f := range parent.Files() {
 		_ = m.namenode.DeleteFile(f)
 	}
+	// Daughters replicate like any new region; the parent's replica
+	// directories become orphans once the split commits.
+	lo.SetFollowers(m.pickFollowers(host))
+	hi.SetFollowers(m.pickFollowers(host))
 	tbl.replaceRegion(parent, lo, hi)
 	rs.OpenRegion(lo)
 	rs.OpenRegion(hi)

@@ -75,6 +75,20 @@ func (t *Table) RegionFor(key string) *Region {
 	return t.regions[i-1]
 }
 
+// swapRegion substitutes one region object for another covering the
+// same key range (failover replaces a dead server's region with its
+// generation-suffixed recovery twin).
+func (t *Table) swapRegion(old, nw *Region) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, r := range t.regions {
+		if r == old {
+			t.regions[i] = nw
+			return
+		}
+	}
+}
+
 // replaceRegion swaps a parent region for its two daughters (splits).
 func (t *Table) replaceRegion(parent, lo, hi *Region) {
 	t.mu.Lock()

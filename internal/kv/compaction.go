@@ -230,6 +230,7 @@ func (s *Store) compactFilesLocked(sel CompactionSelection) (CompactionResult, e
 	files = append(files, merged)
 	files = append(files, s.files[runStart2+len(run2):]...)
 	s.files = files
+	s.filesDirty.Store(true)
 	for _, f := range run2 {
 		s.cache.invalidateFile(f.id)
 		if s.backend != nil {
@@ -245,6 +246,7 @@ func (s *Store) compactFilesLocked(sel CompactionSelection) (CompactionResult, e
 
 	s.drainRetired(false)
 	s.releaseStall()
+	s.notifyFilesChanged()
 	return res, nil
 }
 

@@ -1,0 +1,85 @@
+package kv_test
+
+// External-package test (kv_test) so it can use the shared fault
+// harness: met/internal/testutil imports kv, which an in-package test
+// file could not import back.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"met/internal/durable"
+	"met/internal/kv"
+	"met/internal/testutil"
+)
+
+// TestFlushFailureKeepsDataAndRetries: an injected SSTable-create error
+// fails the flush loudly, but the data stays readable (memstore + WAL)
+// and the next flush retries cleanly — the engine's documented flush
+// error contract, pinned through the fault harness.
+func TestFlushFailureKeepsDataAndRetries(t *testing.T) {
+	inj := testutil.NewInjector()
+	boom := errors.New("disk full")
+	dir := t.TempDir()
+	s, err := kv.OpenStore(kv.Config{
+		MemstoreFlushBytes: 1 << 20,
+		OpenBackend:        testutil.Wrap(durable.Opener(dir, durable.Options{}), inj, "backend"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		if err := s.Put(fmt.Sprintf("k%03d", i), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj.FailOp("backend.create", boom, 1)
+	if err := s.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("flush swallowed the injected error: %v", err)
+	}
+	if s.NumFiles() != 0 {
+		t.Fatalf("failed flush published %d files", s.NumFiles())
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := s.Get(fmt.Sprintf("k%03d", i)); err != nil {
+			t.Fatalf("k%03d unreadable after failed flush: %v", i, err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	if s.NumFiles() != 1 {
+		t.Fatalf("retried flush made %d files, want 1", s.NumFiles())
+	}
+	if got := inj.Hits("backend.create"); got != 2 {
+		t.Fatalf("create point hit %d times, want 2", got)
+	}
+}
+
+// TestOpenFailsLoudlyOnLoadError: recovery must not silently open an
+// empty store when enumerating the surviving SSTables fails.
+func TestOpenFailsLoudlyOnLoadError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := kv.OpenStore(kv.Config{OpenBackend: durable.Opener(dir, durable.Options{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	inj := testutil.NewInjector()
+	boom := errors.New("cannot list")
+	inj.FailOp("backend.load", boom, 1)
+	if _, err := kv.OpenStore(kv.Config{
+		OpenBackend: testutil.Wrap(durable.Opener(dir, durable.Options{}), inj, "backend"),
+	}); !errors.Is(err, boom) {
+		t.Fatalf("open over a failing load returned %v, want the injected error", err)
+	}
+}

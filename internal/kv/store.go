@@ -101,6 +101,16 @@ type Config struct {
 	// receives foreground accounting from flushes, so compaction and
 	// serving share one disk-bandwidth budget.
 	CompactionBudget IOBudget
+	// OnFilesChanged, when set, is invoked outside all engine locks
+	// after the immutable file stack changes — a flush added a file, or
+	// a compaction spliced one in. Embedders that mirror the stack into
+	// an external system (HDFS bookkeeping, SSTable replication) use it
+	// as their wake-up; consecutive changes may coalesce into one call,
+	// so implementations must reconcile against the current stack rather
+	// than assume one event per file. Swappable at runtime with
+	// SetFilesChanged (a region move re-homes the store onto another
+	// server's replicator).
+	OnFilesChanged func()
 }
 
 func (c Config) withDefaults() Config {
@@ -248,6 +258,14 @@ type Store struct {
 	// lock-free readers (maybeStall, maybeTriggerCompaction, phase-2
 	// compaction I/O) racing a rewire safe.
 	wiring atomic.Pointer[compactionWiring]
+
+	// File-stack change notification (Config.OnFilesChanged): flushes
+	// and compaction splices latch filesDirty under the write lock; the
+	// mutation paths fire the hook once outside every lock, exactly like
+	// the compaction trigger. The hook itself is an atomic pointer so a
+	// region move can swap it (SetFilesChanged) without racing a flush.
+	onFilesChanged atomic.Pointer[func()]
+	filesDirty     atomic.Bool
 }
 
 // compactionWiring bundles the rewirable background-compaction hooks.
@@ -276,6 +294,10 @@ func NewStore(cfg Config) *Store {
 		budget:  cfg.CompactionBudget,
 		hardMax: cfg.HardMaxStoreFiles,
 	})
+	if cfg.OnFilesChanged != nil {
+		fn := cfg.OnFilesChanged
+		s.onFilesChanged.Store(&fn)
+	}
 	return s
 }
 
@@ -381,9 +403,48 @@ func (s *Store) SetCompaction(trigger CompactionTrigger, budget IOBudget, hardMa
 	s.releaseStall()
 }
 
+// SetFilesChanged rewires the store's file-stack change hook (see
+// Config.OnFilesChanged) — the engine half of re-homing a live store's
+// replication onto a different server. nil disables notification. The
+// swap is atomic; a flush racing it fires either the old hook or the
+// new, never a torn pointer.
+func (s *Store) SetFilesChanged(fn func()) {
+	if fn == nil {
+		s.onFilesChanged.Store(nil)
+		return
+	}
+	s.onFilesChanged.Store(&fn)
+}
+
+// notifyFilesChanged fires the files-changed hook if a flush or
+// compaction latched a stack change since the last call. Called outside
+// all engine locks by the mutation paths, Flush and CompactFiles.
+func (s *Store) notifyFilesChanged() {
+	fn := s.onFilesChanged.Load()
+	if fn == nil {
+		return
+	}
+	if !s.filesDirty.CompareAndSwap(true, false) {
+		return
+	}
+	(*fn)()
+}
+
 // Recovered returns the number of WAL entries replayed when the store
 // was opened (0 for in-memory stores).
 func (s *Store) Recovered() int { return s.recovered }
+
+// MaxTimestamp returns the store's logical clock: the timestamp of the
+// newest mutation ever applied (acknowledged or in flight). Because
+// timestamps are minted densely — one per mutation — the difference
+// between two stores' clocks counts the mutations one has that the
+// other lacks; failover uses that to report exactly how many
+// acknowledged writes a lost server's replica did not cover.
+func (s *Store) MaxTimestamp() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
 
 // nextTimestamp returns a strictly increasing logical timestamp. Callers
 // must hold the write lock.
@@ -429,6 +490,7 @@ func (s *Store) mutate(e Entry, counter *atomic.Int64) error {
 	}
 	s.mu.Unlock()
 	s.maybeTriggerCompaction()
+	s.notifyFilesChanged()
 	if commit != nil {
 		if err := commit(); err != nil {
 			return fmt.Errorf("kv: wal sync: %w", err)
@@ -496,6 +558,7 @@ func (s *Store) ImportEntries(entries []Entry) error {
 	}
 	s.mu.Unlock()
 	s.maybeTriggerCompaction()
+	s.notifyFilesChanged()
 	if commit != nil {
 		if err := commit(); err != nil {
 			return fmt.Errorf("kv: wal sync: %w", err)
@@ -591,6 +654,7 @@ func (s *Store) Flush() error {
 	err := s.flushLocked()
 	s.mu.Unlock()
 	s.maybeTriggerCompaction()
+	s.notifyFilesChanged()
 	return err
 }
 
@@ -611,6 +675,7 @@ func (s *Store) flushLocked() error {
 	}
 	maxTS := s.mem.MaxTimestamp()
 	s.files = append([]*StoreFile{f}, s.files...)
+	s.filesDirty.Store(true)
 	s.stats.flushes.Add(1)
 	s.stats.flushedBytes.Add(int64(f.Bytes()))
 	w := s.wiring.Load()
@@ -699,6 +764,7 @@ func (s *Store) compactLocked(major bool) error {
 	}
 	old := s.files
 	s.files = []*StoreFile{merged}
+	s.filesDirty.Store(true)
 	for _, f := range old {
 		s.cache.invalidateFile(f.id)
 		if s.backend != nil {
@@ -781,6 +847,50 @@ func (s *Store) FileInfos() []FileInfo {
 		out[i] = FileInfo{ID: f.ID(), Bytes: int64(f.Bytes())}
 	}
 	return out
+}
+
+// ExportedFile names one immutable store file by its on-disk path, for
+// byte-level shipping: replication copies it to follower servers,
+// snapshots archive it. The file at Path is immutable while it remains
+// in the stack; a compaction may unlink it after the snapshot is taken,
+// in which case an opener sees ENOENT and the file's contents are
+// guaranteed to live on in a newer (higher-ID) exported file.
+type ExportedFile struct {
+	ID    uint64
+	Bytes int64
+	MaxTS uint64
+	Path  string
+}
+
+// FileExporter is an optional StorageBackend extension for backends
+// whose files are real on-disk artifacts that can be copied byte for
+// byte (the durable backend). FilePath returns the path file id lives
+// at; it must be stable for the life of the file.
+type FileExporter interface {
+	FilePath(id uint64) string
+}
+
+// ExportFiles snapshots the current file stack as on-disk paths, newest
+// first. ok is false when the store's backend cannot export files (the
+// in-memory backend) — there is nothing to ship, and callers should
+// treat the store as replication-exempt rather than empty.
+func (s *Store) ExportFiles() ([]ExportedFile, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	exp, ok := s.backend.(FileExporter)
+	if !ok {
+		return nil, false
+	}
+	out := make([]ExportedFile, len(s.files))
+	for i, f := range s.files {
+		out[i] = ExportedFile{
+			ID:    f.ID(),
+			Bytes: int64(f.Bytes()),
+			MaxTS: f.MaxTimestamp(),
+			Path:  exp.FilePath(f.ID()),
+		}
+	}
+	return out, true
 }
 
 // CacheHitRatio exposes the block cache's observed hit ratio.

@@ -52,6 +52,14 @@ type EngineStats struct {
 	StallNanos int64
 	// WriteAmplification is physical bytes written per logical byte.
 	WriteAmplification float64
+	// ReplicationQueueDepth is the number of regions whose replica
+	// copies are behind the primary right now (a gauge); sustained
+	// non-zero depth means the followers are falling behind and a
+	// failover would lose more than the memstore.
+	ReplicationQueueDepth int64
+	// ReplicationBytesShipped is cumulative SSTable bytes copied to
+	// follower replica directories.
+	ReplicationBytesShipped int64
 }
 
 // NodeObservation is one monitoring sample for one node.

@@ -1,0 +1,453 @@
+// Package replication maintains real on-disk copies of every region's
+// immutable SSTables on follower servers, so a hard-killed server's
+// regions can be reopened elsewhere from the copies alone — the
+// HBase-on-HDFS property (region data survives a datanode loss) that
+// the simulated hdfs layer only pretended to have.
+//
+// # Replica layout
+//
+// Each region server owns one Replicator (like its compactor pool).
+// The replicator tracks the server's hosted regions; whenever a
+// region's store changes its file stack — a flush added an SSTable, a
+// compaction replaced a run (kv.Config.OnFilesChanged, plus the
+// compactor pool's OnCompacted fan-out) — the region is enqueued and a
+// background worker *reconciles* each follower's replica directory
+// against the primary's current stack:
+//
+//	<DataDir>/regions/<region>             primary store (WAL + SSTables)
+//	<DataDir>/replica/<follower>/<region>  that follower's copy
+//	                                       (SSTables only, same names)
+//
+// Missing SSTables are copied in (write-to-temp/fsync/rename, so a
+// crash never leaves a half-copied file visible); SSTables the primary
+// has compacted away are retired. Copies are charged to the shared
+// compaction I/O budget as background bytes, so shipping yields to
+// foreground serving exactly like compaction does. Followers are chosen
+// by the hdfs.Namenode's replica placement (local-first, least-used)
+// and recorded per region in the META catalog's table rows, which is
+// how a cold start — and Master.RecoverServer — rediscovers placement.
+//
+// Because the replica holds only SSTables, the loss window on a server
+// kill is exactly the primary's unflushed memstore (plus any flush the
+// worker had not shipped yet). Recovery reports that loss precisely —
+// store timestamps are minted densely, one per mutation, so
+// (dead clock − replica clock) counts the missing writes — and never
+// hides it. Streaming the WAL tail to followers would shrink the
+// window to near zero; that is deliberate follow-on work.
+//
+// # Recovery ordering
+//
+// The replica directory is crash-consistent by construction: every
+// visible file is a complete, fsynced copy of an immutable SSTable, and
+// a directory holding both a compaction's inputs and its output is the
+// exact state the engine itself tolerates after a crash mid-compaction
+// (duplicate entries dedup at read time). Reopening a store over a
+// seeded directory therefore needs no replication-specific recovery
+// code — Master.RecoverServer copies the replica's SSTables into a
+// fresh region directory and opens it like any other cold store, then
+// commits the new layout through the catalog (see hbase.RecoverServer
+// for the commit ordering).
+package replication
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"met/internal/durable"
+	"met/internal/kv"
+)
+
+// Config tunes a Replicator. The zero value gets one worker and an
+// unlimited budget.
+type Config struct {
+	// Workers is the number of concurrent shipping goroutines.
+	// Defaults to 1; distinct regions ship in parallel with more.
+	Workers int
+	// Budget, when non-nil, receives every copied byte as background
+	// I/O (compaction.Budget implements this), so replication shares
+	// the compaction/serving bandwidth arbitration: shipping blocks
+	// when foreground traffic has depleted the budget.
+	Budget kv.IOBudget
+}
+
+// target is one tracked region: how to snapshot its primary file stack
+// and where its replicas live. Both are closures so the replicator
+// always sees the region's *current* store and follower set — a server
+// restart swaps the store, a follower re-pick changes the destinations,
+// and neither needs to re-register.
+type target struct {
+	files func() ([]kv.ExportedFile, bool)
+	dests func() []string
+}
+
+// Replicator ships immutable SSTables to follower replica directories,
+// one per region server. Notifications coalesce: a region enqueued ten
+// times before a worker gets to it is reconciled once, against the
+// newest stack.
+type Replicator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	targets map[string]*target
+	queued  map[string]bool
+	queue   []string // FIFO of region names
+	active  int
+	closed  bool
+	wg      sync.WaitGroup
+
+	filesShipped atomic.Int64
+	bytesShipped atomic.Int64
+	filesRetired atomic.Int64
+	failures     atomic.Int64
+	syncs        atomic.Int64
+}
+
+// New starts a replicator with cfg.Workers background workers.
+func New(cfg Config) *Replicator {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	r := &Replicator{
+		cfg:     cfg,
+		targets: make(map[string]*target),
+		queued:  make(map[string]bool),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go r.worker()
+	}
+	return r
+}
+
+// Track registers a region for replication. files snapshots the
+// region's current primary SSTable stack (kv.Store.ExportFiles of
+// whatever store currently backs it); dests returns the absolute
+// replica directories to keep in sync (one per follower). Tracking is
+// idempotent by region name; re-tracking replaces the closures.
+func (r *Replicator) Track(region string, files func() ([]kv.ExportedFile, bool), dests func() []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.targets[region] = &target{files: files, dests: dests}
+}
+
+// Untrack stops replicating a region (it moved away or was retired).
+// In-flight reconciliation of the region finishes; queued work is
+// dropped at pop time.
+func (r *Replicator) Untrack(region string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.targets, region)
+}
+
+// Notify enqueues a tracked region for reconciliation. Repeated
+// notifications for the same region coalesce until a worker pops it.
+func (r *Replicator) Notify(region string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.targets[region] == nil || r.queued[region] {
+		return
+	}
+	r.queued[region] = true
+	r.queue = append(r.queue, region)
+	// Broadcast, not Signal: workers and Quiesce callers share the
+	// condition variable, and a lone signal could wake a quiescer (who
+	// just re-waits) instead of an idle worker.
+	r.cond.Broadcast()
+}
+
+// Quiesce blocks until every queued notification has been reconciled
+// and no worker is mid-ship — the "replication caught up" barrier the
+// failover gate uses between a clean flush and a hard kill. New
+// notifications arriving during the wait extend it.
+func (r *Replicator) Quiesce() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.queue) > 0 || r.active > 0 {
+		r.cond.Wait()
+	}
+}
+
+// Close stops the workers after the in-flight reconciliations finish;
+// queued work is dropped. A closed replicator ignores Track/Notify.
+func (r *Replicator) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.queue = nil
+	r.queued = make(map[string]bool)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+func (r *Replicator) worker() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && !r.closed {
+			r.cond.Wait()
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		region := r.queue[0]
+		r.queue = r.queue[1:]
+		delete(r.queued, region)
+		t := r.targets[region]
+		r.active++
+		r.mu.Unlock()
+
+		if t != nil {
+			if err := r.sync(t); err != nil {
+				r.failures.Add(1)
+			}
+			r.syncs.Add(1)
+		}
+
+		r.mu.Lock()
+		r.active--
+		// Wake Quiesce waiters (and idle workers racing a concurrent
+		// enqueue; spurious wakeups re-check the loop condition).
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+// sync reconciles every destination directory against one snapshot of
+// the primary stack. A primary file unlinked between the snapshot and
+// the copy (a racing compaction) is skipped: the compaction latched a
+// fresh notification, so the region re-reconciles against the
+// post-compaction stack.
+func (r *Replicator) sync(t *target) error {
+	files, ok := t.files()
+	if !ok {
+		return nil // in-memory backend: nothing shippable
+	}
+	var firstErr error
+	for _, dir := range t.dests() {
+		if err := r.syncDir(dir, files); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// syncDir makes dir hold exactly the snapshot's SSTables (modulo files
+// newer than the snapshot, which a pending notification owns).
+func (r *Replicator) syncDir(dir string, files []kv.ExportedFile) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	have, _, err := listSSTables(dir)
+	if err != nil {
+		return err
+	}
+	want := make(map[uint64]bool, len(files))
+	var maxWant uint64
+	var firstErr error
+	for _, f := range files {
+		want[f.ID] = true
+		if f.ID > maxWant {
+			maxWant = f.ID
+		}
+		if have[f.ID] {
+			continue
+		}
+		n, err := CopyFile(f.Path, filepath.Join(dir, filepath.Base(f.Path)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Compacted away mid-ship; the splice queued a fresh
+				// notification that will ship its replacement.
+				continue
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if r.cfg.Budget != nil {
+			r.cfg.Budget.WaitBackground(int(n))
+		}
+		r.filesShipped.Add(1)
+		r.bytesShipped.Add(n)
+	}
+	// Retire replica files the primary no longer has — but only those
+	// older than the snapshot's newest file: an ID above maxWant means
+	// the snapshot is stale (a flush landed after it), and that file's
+	// own notification is still queued.
+	for id := range have {
+		if want[id] || id > maxWant {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, durable.SSTableFileName(id))); err != nil && !os.IsNotExist(err) {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		r.filesRetired.Add(1)
+	}
+	if err := syncDirEntry(dir); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// listSSTables enumerates the SSTable IDs already present in dir,
+// removing stale temp files (the debris of a copy killed mid-ship).
+func listSSTables(dir string) (map[uint64]bool, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	have := make(map[uint64]bool)
+	var max uint64
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) == ".tmp" {
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		id, ok := durable.ParseSSTableFileName(name)
+		if !ok {
+			continue
+		}
+		have[id] = true
+		if id > max {
+			max = id
+		}
+	}
+	return have, max, nil
+}
+
+// ListSSTables returns the SSTable IDs present in a replica or snapshot
+// directory, sorted — the recovery and restore paths use it to pick the
+// files to copy back into a fresh region directory. A missing directory
+// is an empty replica, not an error.
+func ListSSTables(dir string) ([]uint64, error) {
+	have, _, err := listSSTables(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	ids := make([]uint64, 0, len(have))
+	for id := range have {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// SSTablePath returns the path SSTable id occupies inside a replica or
+// snapshot directory.
+func SSTablePath(dir string, id uint64) string {
+	return filepath.Join(dir, durable.SSTableFileName(id))
+}
+
+// CopyFile copies src to dst crash-consistently: the bytes land in a
+// temp file that is fsynced and renamed into place, then the directory
+// is fsynced — a crash at any point leaves either no visible file or a
+// complete one, never a torn copy. It returns the bytes copied.
+func CopyFile(src, dst string) (int64, error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	tmp := dst + ".tmp"
+	out, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	n, err := out.ReadFrom(in)
+	if err == nil {
+		err = out.Sync()
+	}
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return n, err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		_ = os.Remove(tmp)
+		return n, err
+	}
+	return n, syncDirEntry(filepath.Dir(dst))
+}
+
+// syncDirEntry fsyncs a directory so renames and removals in it are
+// durable.
+func syncDirEntry(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats is a snapshot of a replicator's activity.
+type Stats struct {
+	// QueueDepth is the number of regions awaiting reconciliation.
+	QueueDepth int
+	// Active is the number of in-flight reconciliations.
+	Active int
+	// FilesShipped / BytesShipped count SSTable copies to replica
+	// directories; FilesRetired counts replica files removed after the
+	// primary compacted them away.
+	FilesShipped int64
+	BytesShipped int64
+	FilesRetired int64
+	// Syncs counts reconciliation rounds; Failures counts rounds that
+	// hit an I/O error (the next notification retries).
+	Syncs    int64
+	Failures int64
+}
+
+// Add returns the element-wise sum of two snapshots (cluster roll-up).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		QueueDepth:   s.QueueDepth + o.QueueDepth,
+		Active:       s.Active + o.Active,
+		FilesShipped: s.FilesShipped + o.FilesShipped,
+		BytesShipped: s.BytesShipped + o.BytesShipped,
+		FilesRetired: s.FilesRetired + o.FilesRetired,
+		Syncs:        s.Syncs + o.Syncs,
+		Failures:     s.Failures + o.Failures,
+	}
+}
+
+// Stats snapshots the replicator.
+func (r *Replicator) Stats() Stats {
+	r.mu.Lock()
+	depth, active := len(r.queue), r.active
+	r.mu.Unlock()
+	return Stats{
+		QueueDepth:   depth,
+		Active:       active,
+		FilesShipped: r.filesShipped.Load(),
+		BytesShipped: r.bytesShipped.Load(),
+		FilesRetired: r.filesRetired.Load(),
+		Syncs:        r.syncs.Load(),
+		Failures:     r.failures.Load(),
+	}
+}

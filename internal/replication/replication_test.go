@@ -1,0 +1,284 @@
+package replication
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"met/internal/durable"
+	"met/internal/kv"
+)
+
+// openDurableStore builds a small durable store that flushes often.
+func openDurableStore(t *testing.T, dir string) *kv.Store {
+	t.Helper()
+	s, err := kv.OpenStore(kv.Config{
+		MemstoreFlushBytes: 2 << 10,
+		BlockBytes:         1 << 10,
+		MaxStoreFiles:      -1, // no automatic compaction; tests drive it
+		OpenBackend:        durable.Opener(dir, durable.Options{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func fill(t *testing.T, s *kv.Store, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		if err := s.Put(fmt.Sprintf("k%05d", i), []byte("0123456789abcdefghijklmnopqrstuv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// track wires a store to a replicator under one region name and dest.
+func track(r *Replicator, s *kv.Store, region string, dests ...string) {
+	r.Track(region, s.ExportFiles, func() []string { return dests })
+	s.SetFilesChanged(func() { r.Notify(region) })
+}
+
+// replicaIDs reads the SSTable IDs in dir (empty when absent).
+func replicaIDs(t *testing.T, dir string) []uint64 {
+	t.Helper()
+	ids, err := ListSSTables(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func storeIDs(s *kv.Store) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, fi := range s.FileInfos() {
+		out[fi.ID] = true
+	}
+	return out
+}
+
+// TestReplicatorMirrorsFlushesAndCompactions: every flush ships its
+// SSTable; a compaction ships the merged file and retires the inputs,
+// leaving the replica directory exactly equal to the primary stack.
+func TestReplicatorMirrorsFlushesAndCompactions(t *testing.T) {
+	base := t.TempDir()
+	primary := filepath.Join(base, "primary")
+	replica := filepath.Join(base, "replica")
+	s := openDurableStore(t, primary)
+	r := New(Config{})
+	defer r.Close()
+	track(r, s, "region-a", replica)
+
+	for round := 0; round < 3; round++ {
+		fill(t, s, round*100, (round+1)*100)
+	}
+	r.Quiesce()
+	want := storeIDs(s)
+	got := replicaIDs(t, replica)
+	if len(got) != len(want) {
+		t.Fatalf("replica holds %d files, primary %d", len(got), len(want))
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("replica holds file %d the primary lacks", id)
+		}
+	}
+
+	// Compact: the merged file ships, the retired inputs disappear.
+	if err := s.Compact(true); err != nil {
+		t.Fatal(err)
+	}
+	r.Quiesce()
+	got = replicaIDs(t, replica)
+	want = storeIDs(s)
+	if len(got) != 1 || len(want) != 1 || !want[got[0]] {
+		t.Fatalf("after compaction: replica %v, primary %v", got, want)
+	}
+	st := r.Stats()
+	if st.FilesShipped < 4 || st.FilesRetired < 3 {
+		t.Fatalf("stats did not account shipping: %+v", st)
+	}
+
+	// The replica files are byte-identical to the primary's.
+	pPath := SSTablePath(primary, got[0])
+	rPath := SSTablePath(replica, got[0])
+	pb, err := os.ReadFile(pPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(rPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pb) != string(rb) {
+		t.Fatal("replica SSTable differs from primary")
+	}
+}
+
+// TestReplicaDirectoryOpensAsStore: a store opened over a directory
+// seeded with replica SSTables serves every replicated row — the
+// property RecoverServer depends on.
+func TestReplicaDirectoryOpensAsStore(t *testing.T) {
+	base := t.TempDir()
+	primary := filepath.Join(base, "primary")
+	replica := filepath.Join(base, "replica")
+	s := openDurableStore(t, primary)
+	r := New(Config{})
+	defer r.Close()
+	track(r, s, "region-a", replica)
+	fill(t, s, 0, 200)
+	r.Quiesce()
+
+	recovered, err := kv.OpenStore(kv.Config{
+		BlockBytes:  1 << 10,
+		OpenBackend: durable.Opener(replica, durable.Options{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	for i := 0; i < 200; i++ {
+		if _, err := recovered.Get(fmt.Sprintf("k%05d", i)); err != nil {
+			t.Fatalf("replicated row k%05d unreadable from replica: %v", i, err)
+		}
+	}
+	if got, want := recovered.MaxTimestamp(), s.MaxTimestamp(); got != want {
+		t.Fatalf("replica clock %d != primary clock %d after full flush", got, want)
+	}
+}
+
+// TestReplicatorCleansTempDebris: a .tmp file (a copy killed mid-ship)
+// is removed at the next reconciliation and never shadows a real copy.
+func TestReplicatorCleansTempDebris(t *testing.T) {
+	base := t.TempDir()
+	primary := filepath.Join(base, "primary")
+	replica := filepath.Join(base, "replica")
+	if err := os.MkdirAll(replica, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	debris := filepath.Join(replica, "sst-0000000000000042.sst.tmp")
+	if err := os.WriteFile(debris, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openDurableStore(t, primary)
+	r := New(Config{})
+	defer r.Close()
+	track(r, s, "region-a", replica)
+	fill(t, s, 0, 50)
+	r.Quiesce()
+	if _, err := os.Stat(debris); !os.IsNotExist(err) {
+		t.Fatalf("temp debris survived reconciliation: %v", err)
+	}
+	if got := replicaIDs(t, replica); len(got) == 0 {
+		t.Fatal("no SSTable shipped")
+	}
+}
+
+// TestReplicatorFansOutToMultipleFollowers: replication factor 3 means
+// two follower directories, each a complete copy.
+func TestReplicatorFansOutToMultipleFollowers(t *testing.T) {
+	base := t.TempDir()
+	primary := filepath.Join(base, "primary")
+	f1 := filepath.Join(base, "f1")
+	f2 := filepath.Join(base, "f2")
+	s := openDurableStore(t, primary)
+	r := New(Config{})
+	defer r.Close()
+	track(r, s, "region-a", f1, f2)
+	fill(t, s, 0, 100)
+	r.Quiesce()
+	want := len(storeIDs(s))
+	if got := len(replicaIDs(t, f1)); got != want {
+		t.Fatalf("follower 1 holds %d files, want %d", got, want)
+	}
+	if got := len(replicaIDs(t, f2)); got != want {
+		t.Fatalf("follower 2 holds %d files, want %d", got, want)
+	}
+}
+
+// TestUntrackStopsShipping: an untracked region's queued notifications
+// are dropped, and new flushes no longer ship.
+func TestUntrackStopsShipping(t *testing.T) {
+	base := t.TempDir()
+	primary := filepath.Join(base, "primary")
+	replica := filepath.Join(base, "replica")
+	s := openDurableStore(t, primary)
+	r := New(Config{})
+	defer r.Close()
+	track(r, s, "region-a", replica)
+	fill(t, s, 0, 50)
+	r.Quiesce()
+	before := len(replicaIDs(t, replica))
+	r.Untrack("region-a")
+	fill(t, s, 50, 150)
+	r.Quiesce()
+	if got := len(replicaIDs(t, replica)); got != before {
+		t.Fatalf("untracked region kept shipping: %d -> %d files", before, got)
+	}
+}
+
+// countingBudget records background byte accounting.
+type countingBudget struct {
+	mu    sync.Mutex
+	bytes int64
+}
+
+func (b *countingBudget) WaitBackground(n int) {
+	b.mu.Lock()
+	b.bytes += int64(n)
+	b.mu.Unlock()
+}
+func (b *countingBudget) NoteForeground(int) {}
+
+// TestReplicatorChargesBudget: every shipped byte passes through the
+// shared I/O budget as background traffic.
+func TestReplicatorChargesBudget(t *testing.T) {
+	base := t.TempDir()
+	primary := filepath.Join(base, "primary")
+	replica := filepath.Join(base, "replica")
+	s := openDurableStore(t, primary)
+	budget := &countingBudget{}
+	r := New(Config{Budget: budget})
+	defer r.Close()
+	track(r, s, "region-a", replica)
+	fill(t, s, 0, 100)
+	r.Quiesce()
+	st := r.Stats()
+	budget.mu.Lock()
+	charged := budget.bytes
+	budget.mu.Unlock()
+	if charged == 0 || charged != st.BytesShipped {
+		t.Fatalf("budget charged %d bytes, stats say %d shipped", charged, st.BytesShipped)
+	}
+}
+
+// TestInMemoryStoreIsReplicationExempt: a store on the memory backend
+// exports nothing and the replicator treats it as a no-op, not as an
+// empty primary to mirror (which would delete real replica files).
+func TestInMemoryStoreIsReplicationExempt(t *testing.T) {
+	base := t.TempDir()
+	replica := filepath.Join(base, "replica")
+	if err := os.MkdirAll(replica, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(replica, "sst-0000000000000007.sst")
+	if err := os.WriteFile(keep, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := kv.NewStore(kv.Config{MemstoreFlushBytes: 1 << 10})
+	defer s.Close()
+	r := New(Config{})
+	defer r.Close()
+	track(r, s, "region-a", replica)
+	r.Notify("region-a")
+	r.Quiesce()
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("replication-exempt store clobbered replica dir: %v", err)
+	}
+}

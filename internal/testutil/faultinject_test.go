@@ -1,0 +1,60 @@
+package testutil
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHookCrashesOnceAtArmedPoint(t *testing.T) {
+	inj := NewInjector()
+	hook := inj.Hook()
+	hook("a") // unarmed: records only
+	ran := false
+	CrashAt(t, inj, "a", func() {
+		hook("b")
+		hook("a")
+		ran = true
+	})
+	if ran {
+		t.Fatal("operation continued past an armed crash point")
+	}
+	hook("a") // disarmed after firing
+	if got := inj.Hits("a"); got != 3 {
+		t.Fatalf("point a hit %d times, want 3", got)
+	}
+}
+
+func TestErrInjectionCountsDown(t *testing.T) {
+	inj := NewInjector()
+	boom := errors.New("boom")
+	inj.FailOp("io", boom, 2)
+	if err := inj.Err("io"); !errors.Is(err, boom) {
+		t.Fatalf("first call: %v", err)
+	}
+	if err := inj.Err("io"); !errors.Is(err, boom) {
+		t.Fatalf("second call: %v", err)
+	}
+	if err := inj.Err("io"); err != nil {
+		t.Fatalf("exhausted arm still fired: %v", err)
+	}
+	inj.FailOp("forever", boom, -1)
+	for i := 0; i < 5; i++ {
+		if err := inj.Err("forever"); !errors.Is(err, boom) {
+			t.Fatalf("unlimited arm stopped at %d: %v", i, err)
+		}
+	}
+	inj.FailOp("forever", nil, 0)
+	if err := inj.Err("forever"); err != nil {
+		t.Fatalf("disarmed point still fired: %v", err)
+	}
+}
+
+func TestCrashAtRepanicsForeignPanics(t *testing.T) {
+	inj := NewInjector()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic swallowed")
+		}
+	}()
+	CrashAt(t, inj, "never-hit", func() { panic("unrelated") })
+}

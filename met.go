@@ -54,6 +54,36 @@
 // hard-stops a loaded cluster mid-run, reopens it, and verifies every
 // acknowledged write is readable through normal routing.
 //
+// # Replication & snapshots
+//
+// On the durable backend, region data is really replicated: each
+// region server owns a replicator (met/internal/replication) that
+// ships every flushed or compacted SSTable to the region's follower
+// servers — chosen by the HDFS layer's replica placement and recorded
+// in the META catalog — under DataDir/replica/<follower>/<region>.
+// Shipping runs in the background, charged to the compaction I/O
+// budget, so it yields to serving. When a server dies,
+//
+//	report, err := cluster.RecoverServer(name)
+//
+// reopens its regions on the followers holding their replica copies —
+// from the copies alone, never the dead server's own directories —
+// and reports exactly how many acknowledged writes the replicas did
+// not cover (the unflushed memstore; zero after a clean flush with
+// replication quiesced). Loss is always reported, never silent.
+//
+// Snapshots are the same machinery pointed at time instead of
+// failure: Cluster.Snapshot(table, name) archives every region's
+// SSTable set (plus its WAL high-water mark) under DataDir/snapshots
+// and commits a manifest row; RestoreSnapshot(table, name) rebuilds
+// the table to exactly that point — later writes gone, deletes
+// undone — with the same atomic table-row commit discipline as splits
+// and cold starts. `metbench -failover -durable DIR` drives the
+// kill-and-recover path end to end (and CI gates on it under -race):
+// it hard-kills a server, renames its primary region directories away,
+// and requires 100% of acknowledged rows back from replicas with zero
+// reported loss.
+//
 // On either backend, compaction runs in the background: each region
 // server owns a compactor pool (met/internal/compaction) that merges
 // store files off the engine locks, with a pluggable tiered/leveled
@@ -96,6 +126,10 @@ type (
 	Params = core.Params
 	// AccessType is a workload access-pattern class.
 	AccessType = placement.AccessType
+	// RecoveryReport is RecoverServer's accounting: which regions were
+	// reopened from which follower's replica SSTables, and exactly how
+	// many acknowledged writes the replicas did not cover.
+	RecoveryReport = hbase.RecoveryReport
 )
 
 // Access pattern classes (Table 1 profiles exist for each).
@@ -209,6 +243,29 @@ func (c *Cluster) Scan(table, start, end string, limit int) (keys []string, valu
 		values = append(values, e.Value)
 	}
 	return keys, values, nil
+}
+
+// Snapshot archives a point-in-time copy of a table — the exact
+// SSTable set of every region plus its WAL high-water mark — committed
+// as one fsynced META manifest row. Durable clusters only.
+func (c *Cluster) Snapshot(table, name string) error {
+	return c.Master.Snapshot(table, name)
+}
+
+// RestoreSnapshot rebuilds a table to a committed snapshot's exact
+// contents: writes after the snapshot are gone, deleted rows are back.
+// The switch is one atomic table-row commit; a crash on either side
+// leaves a complete table.
+func (c *Cluster) RestoreSnapshot(table, name string) error {
+	return c.Master.RestoreSnapshot(table, name)
+}
+
+// RecoverServer fails over a dead (stopped) server: its regions reopen
+// on the followers holding their replica SSTables, and the report
+// counts precisely the acknowledged writes the replicas did not cover
+// — zero after a clean flush with replication quiesced.
+func (c *Cluster) RecoverServer(name string) (*RecoveryReport, error) {
+	return c.Master.RecoverServer(name)
 }
 
 // NewController attaches MeT to a functional cluster. nominalOpsPerSec
