@@ -68,9 +68,40 @@ type result struct {
 	Engine      *engineState       `json:"engine,omitempty"`
 	Compaction  *compactionState   `json:"compaction,omitempty"`
 	Replication *replicationState  `json:"replication,omitempty"`
-	// LostWrites is the failover scenario's reported data loss.
-	LostWrites int64         `json:"lost_writes,omitempty"`
-	Cluster    []serverState `json:"cluster"`
+	// LostWrites is the failover scenario's reported data loss after the
+	// clean-flush kill; LostWritesUnflushed after the hot-memstore kill
+	// (bounded by the unsynced tail — zero after a quiesce).
+	LostWrites          int64         `json:"lost_writes,omitempty"`
+	LostWritesUnflushed int64         `json:"lost_writes_unflushed,omitempty"`
+	WAL                 *walState     `json:"wal,omitempty"`
+	Cluster             []serverState `json:"cluster"`
+}
+
+// walState summarizes the cluster's shared write-ahead logs: the
+// writes-per-fsync ratio is the group-commit batching proof (one fsync
+// stream per server, shared by all its regions).
+type walState struct {
+	Appends        int64   `json:"appends"`
+	SyncRounds     int64   `json:"sync_rounds"`
+	Bytes          int64   `json:"bytes"`
+	Segments       int     `json:"segments"`
+	WritesPerFsync float64 `json:"writes_per_fsync"`
+}
+
+// newWALState sums the live servers' shared-log snapshots.
+func newWALState(servers []*hbase.RegionServer) *walState {
+	w := &walState{}
+	for _, rs := range servers {
+		st := rs.WALStats()
+		w.Appends += st.Appends
+		w.SyncRounds += st.SyncRounds
+		w.Bytes += st.Bytes
+		w.Segments += st.Segments
+	}
+	if w.SyncRounds > 0 {
+		w.WritesPerFsync = float64(w.Appends) / float64(w.SyncRounds)
+	}
+	return w
 }
 
 // engineState summarizes kv engine counters (per server, and summed
@@ -109,6 +140,9 @@ type replicationState struct {
 	FilesRetired int64 `json:"files_retired"`
 	Syncs        int64 `json:"syncs"`
 	Failures     int64 `json:"failures"`
+	TailShips    int64 `json:"tail_ships,omitempty"`
+	TailBytes    int64 `json:"tail_bytes,omitempty"`
+	TailFrames   int64 `json:"tail_frames,omitempty"`
 }
 
 // newReplicationState converts a replicator snapshot for the report.
@@ -120,6 +154,9 @@ func newReplicationState(rs replication.Stats) *replicationState {
 		FilesRetired: rs.FilesRetired,
 		Syncs:        rs.Syncs,
 		Failures:     rs.Failures,
+		TailShips:    rs.TailShips,
+		TailBytes:    rs.TailBytes,
+		TailFrames:   rs.TailFrames,
 	}
 }
 
@@ -301,6 +338,11 @@ func main() {
 	fmt.Printf("replication totals: shipped=%d files (%dKB), retired=%d, syncs=%d, failures=%d\n",
 		repTotal.FilesShipped, repTotal.BytesShipped>>10, repTotal.FilesRetired,
 		repTotal.Syncs, repTotal.Failures)
+	if wal := newWALState(cluster.Master.Servers()); wal.Appends > 0 {
+		res.WAL = wal
+		fmt.Printf("wal totals: appends=%d sync-rounds=%d writes/fsync=%.2f (%dKB, %d segments)\n",
+			wal.Appends, wal.SyncRounds, wal.WritesPerFsync, wal.Bytes>>10, wal.Segments)
+	}
 	if *jsonOut != "" {
 		buf, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -719,27 +761,107 @@ func runFailover(dataDir string, cfg met.ServerConfig, servers, ops int, seed ui
 	if err := c.Put("users", "zz-post-failover", []byte("alive")); err != nil {
 		log.Fatalf("metbench: failover: cluster dead after recovery: %v", err)
 	}
+
+	// Phase 2 — hot-memstore kill: write more acknowledged rows and kill
+	// a second server WITHOUT flushing, taking its primary directories
+	// AND its shared WAL with it. The replicas' SSTables cannot cover the
+	// memstore, so zero loss here is the tail-streaming proof: the
+	// replicator shipped the durable-but-unflushed WAL tail to the
+	// followers, and RecoverServer replayed it. After a replication
+	// quiesce the unsynced window is empty, so loss must be exactly zero.
+	hotOps := ops / 4
+	if hotOps < 100 {
+		hotOps = 100
+	}
+	fmt.Printf("failover: phase 2 — writing %d more rows, killing a server with a hot (unflushed) memstore...\n", hotOps)
+	for i := 0; i < hotOps; i++ {
+		tn := tables[rng.Intn(len(tables))]
+		key := fmt.Sprintf("%c%07x", byte('a'+rng.Intn(26)), rng.Uint64()&0xfffffff)
+		val := fmt.Sprintf("%s/%s/hot%d", tn, key, i)
+		if err := c.Put(tn, key, []byte(val)); err != nil {
+			log.Fatalf("metbench: failover hot put %s/%s: %v", tn, key, err)
+		}
+		acked[tn][key] = val
+	}
+	m.QuiesceReplication()
+	walTotal := newWALState(m.Servers())
+
+	var victim2 *hbase.RegionServer
+	for _, rs := range m.Servers() {
+		if victim2 == nil || rs.NumRegions() > victim2.NumRegions() {
+			victim2 = rs
+		}
+	}
+	fmt.Printf("failover: hard-killing %s (%d regions) with its memstores hot, quarantining primaries and WAL...\n",
+		victim2.Name(), victim2.NumRegions())
+	victim2Regions := victim2.Regions()
+	victim2.Shutdown()
+	for _, r := range victim2Regions {
+		dir := hbase.RegionDataDir(dataDir, r.Name())
+		if _, err := os.Stat(dir); err == nil {
+			if err := os.Rename(dir, dir+".quarantine"); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	walDir := hbase.ServerWALDir(dataDir, victim2.Name())
+	if _, err := os.Stat(walDir); err == nil {
+		if err := os.Rename(walDir, walDir+".quarantine"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	report2, err := m.RecoverServer(victim2.Name())
+	if err != nil {
+		log.Fatalf("metbench: failover RecoverServer (hot memstore): %v", err)
+	}
+	if report2.LostWrites != 0 {
+		log.Fatalf("metbench: hot-memstore failover lost %d acknowledged writes — the shipped WAL tail must bound loss to the unsynced window, which a quiesce empties (report %+v)",
+			report2.LostWrites, report2)
+	}
+	tailWrites := 0
+	for _, rec := range report2.Regions {
+		tailWrites += rec.TailWrites
+		fmt.Printf("failover: %s -> %s on %s (%d replica SSTables, %d tail records replayed, %d lost)\n",
+			rec.Region, rec.NewRegion, rec.Source, rec.ReplicaFiles, rec.TailWrites, rec.LostWrites)
+	}
+	if tailWrites == 0 {
+		log.Fatal("metbench: hot-memstore failover replayed no tail records — the unflushed writes were recovered from somewhere they should not exist")
+	}
+	for tn, rows := range acked {
+		for k, want := range rows {
+			v, err := c.Get(tn, k)
+			if err != nil || string(v) != want {
+				log.Fatalf("metbench: hot-memstore failover lost acknowledged write %s/%s: %q, %v", tn, k, v, err)
+			}
+		}
+	}
+
 	// ...and the recovered layout survives a full cold start.
 	m.HardStop()
 	reopened, err := met.OpenCluster(dataDir)
 	if err != nil {
 		log.Fatalf("metbench: failover cold start after recovery: %v", err)
 	}
+	total = 0
 	for tn, rows := range acked {
 		for k, want := range rows {
 			v, err := reopened.Client.Get(tn, k)
 			if err != nil || string(v) != want {
 				log.Fatalf("metbench: failover+coldstart lost %s/%s: %q, %v", tn, k, v, err)
 			}
+			total++
 		}
 	}
-	fmt.Printf("failover: OK — %d acknowledged rows verified from replica SSTables alone, zero loss, layout cold-starts\n", total)
+	fmt.Printf("failover: OK — %d acknowledged rows verified (replica SSTables + shipped WAL tail), zero loss, layout cold-starts\n", total)
 	if jsonOut != "" {
 		res := &result{
 			Workload: "failover", Ops: ops, Servers: servers, Durable: true,
 			GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
-			Completed:  int64(total),
-			LostWrites: report.LostWrites,
+			Completed:           int64(total),
+			LostWrites:          report.LostWrites,
+			LostWritesUnflushed: report2.LostWrites,
+			WAL:                 walTotal,
 		}
 		var repTotal replication.Stats
 		for _, rs := range reopened.Master.Servers() {

@@ -58,6 +58,7 @@ func (s *ClusterSource) Observe(now sim.Time) ([]metrics.NodeObservation, []metr
 		eng := rs.EngineStats()
 		cs := rs.CompactionStats()
 		reps := rs.ReplicationStats()
+		wal := rs.WALStats()
 		nodes = append(nodes, metrics.NodeObservation{
 			At:   now,
 			Node: rs.Name(),
@@ -76,6 +77,8 @@ func (s *ClusterSource) Observe(now sim.Time) ([]metrics.NodeObservation, []metr
 				WriteAmplification:      eng.WriteAmplification,
 				ReplicationQueueDepth:   int64(reps.QueueDepth + reps.Active),
 				ReplicationBytesShipped: reps.BytesShipped,
+				WALAppends:              wal.Appends,
+				WALSyncRounds:           wal.SyncRounds,
 			},
 		})
 		for _, r := range rs.Regions() {

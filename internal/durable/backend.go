@@ -32,17 +32,23 @@ type Backend struct {
 	sstBytesRead    atomic.Int64
 }
 
-// Open creates (or reopens) a durable backend rooted at dir.
+// Open creates (or reopens) a durable backend rooted at dir. With
+// Options.ExternalWAL the directory holds SSTables only — the store's
+// log records live in a shared server-wide WAL owned by the caller.
 func Open(dir string, opts Options) (*Backend, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	wal, err := OpenWAL(dir, opts)
-	if err != nil {
-		return nil, err
+	b := &Backend{dir: dir, opts: opts, readers: make(map[uint64]*sstable)}
+	if !opts.ExternalWAL {
+		wal, err := OpenWAL(dir, opts)
+		if err != nil {
+			return nil, err
+		}
+		b.wal = wal
 	}
-	return &Backend{dir: dir, opts: opts, wal: wal, readers: make(map[uint64]*sstable)}, nil
+	return b, nil
 }
 
 // Opener returns a factory suitable for kv.Config.OpenBackend.
@@ -53,10 +59,17 @@ func Opener(dir string, opts Options) func() (kv.StorageBackend, error) {
 // Dir returns the backend's directory.
 func (b *Backend) Dir() string { return b.dir }
 
-// WAL implements kv.StorageBackend.
-func (b *Backend) WAL() kv.WAL { return b.wal }
+// WAL implements kv.StorageBackend; nil under Options.ExternalWAL (the
+// engine is wired to a shared-log handle instead).
+func (b *Backend) WAL() kv.WAL {
+	if b.wal == nil {
+		return nil
+	}
+	return b.wal
+}
 
-// Log exposes the concrete WAL (tests, tooling).
+// Log exposes the concrete WAL (tests, tooling); nil under
+// Options.ExternalWAL.
 func (b *Backend) Log() *WAL { return b.wal }
 
 func (b *Backend) sstPath(id uint64) string {
@@ -88,6 +101,17 @@ func (b *Backend) FilePath(id uint64) string { return b.sstPath(id) }
 // durable (fsynced and atomically visible) before Create returns, which
 // is what lets the engine truncate the WAL right after a flush.
 func (b *Backend) Create(id uint64, entries []kv.Entry, blockBytes int) (*kv.StoreFile, error) {
+	return b.CreateWithMaxTS(id, entries, blockBytes, 0)
+}
+
+// CreateWithMaxTS implements kv.TimestampFloorCreator: like Create, but
+// the file's recorded max timestamp is at least maxTS. Compactions pass
+// the maximum of their inputs so that dropping a newest-version entry
+// (a shadowed put, an elided tombstone) cannot regress the file's
+// timestamp — a store seeded from the file (snapshot restore, replica
+// failover) resumes its clock from that property, and a regressed clock
+// makes failover loss accounting overcount.
+func (b *Backend) CreateWithMaxTS(id uint64, entries []kv.Entry, blockBytes int, maxTS uint64) (*kv.StoreFile, error) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -95,7 +119,7 @@ func (b *Backend) Create(id uint64, entries []kv.Entry, blockBytes int) (*kv.Sto
 	}
 	b.mu.Unlock()
 	path := b.sstPath(id)
-	if _, err := writeSSTable(path, entries, blockBytes, b.opts, &b.sstBytesWritten); err != nil {
+	if _, err := writeSSTable(path, entries, blockBytes, b.opts, &b.sstBytesWritten, maxTS); err != nil {
 		return nil, fmt.Errorf("durable: write sstable %d: %w", id, err)
 	}
 	if err := syncDir(b.dir, b.opts.NoSync); err != nil {
@@ -169,9 +193,13 @@ func (b *Backend) Load(blockBytes int) ([]*kv.StoreFile, error) {
 	return files, nil
 }
 
-// IOStats snapshots the backend's physical I/O counters.
+// IOStats snapshots the backend's physical I/O counters. Under
+// Options.ExternalWAL the log's bytes are accounted by its owner.
 func (b *Backend) IOStats() IOStats {
-	wal := b.wal.BytesAppended()
+	var wal int64
+	if b.wal != nil {
+		wal = b.wal.BytesAppended()
+	}
 	return IOStats{
 		BytesWritten: b.sstBytesWritten.Load() + wal,
 		BytesRead:    b.sstBytesRead.Load(),
@@ -201,7 +229,10 @@ func (b *Backend) Close() error {
 		readers = append(readers, t)
 	}
 	b.mu.Unlock()
-	err := b.wal.Close()
+	var err error
+	if b.wal != nil {
+		err = b.wal.Close()
+	}
 	for _, t := range readers {
 		if cerr := t.Close(); err == nil {
 			err = cerr

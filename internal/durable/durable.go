@@ -10,25 +10,44 @@
 //
 // # WAL format
 //
-// The log is a sequence of segment files, wal-<seq>.log, appended in
-// order and deleted whole once a flush has made their entries durable in
-// an SSTable (Truncate never rewrites a segment in place):
+// One WAL serves a whole RegionServer: every hosted region appends
+// through a region-scoped handle (WAL.Region), so N regions share a
+// single fsync stream — HBase's one-log-per-server design. The log is a
+// sequence of segment files, wal-<seq>.log, appended in order and only
+// ever deleted whole (Truncate never rewrites a segment in place):
 //
 //	segment := magic "METW" (4) | version (1) | frame*
 //	frame   := length (4, LE)   | crc32c (4, LE, over payload) | payload
 //	payload := flags (1) | timestamp (uvarint) |
+//	           regionLen (uvarint) | region |          (version 2)
 //	           keyLen (uvarint) | key | valLen (uvarint) | value
 //
-// flags bit 0 marks a tombstone. crc32c is the Castagnoli polynomial.
-// A reader accepts a frame only if the full header and payload are
-// present and the checksum matches; anything else is a torn tail (a
-// crash mid-write) and ends recovery at the last good record.
+// flags bit 0 marks a tombstone; bit 1 marks a region-drop record that
+// voids every earlier record of the same region (written when a
+// region's store is discarded, so a re-minted region name cannot
+// resurrect a predecessor's records). Version 1 segments — the old
+// one-log-per-store format — carry no region field and read back with
+// region "". crc32c is the Castagnoli polynomial. A reader accepts a
+// frame only if the full header and payload are present and the
+// checksum matches; anything else is a torn tail (a crash mid-write)
+// and ends recovery at the last good record.
+//
+// Each segment tracks the newest timestamp per region it holds; a
+// segment is reclaimed only once *every* region's flushed high-water
+// mark passes its maximum there (or the region was dropped), and
+// deletable segments are taken strictly oldest-first so a drop marker
+// always outlives the records it voids. Per-region replay filters the
+// shared stream back to one store's records, applying drop markers in
+// order.
 //
 // Appends reach the operating system immediately but are acknowledged
 // lazily: AppendBuffered returns a commit function that blocks until an
 // fsync covers the record. The first committer becomes the sync leader
-// and fsyncs once for every record buffered so far (group commit), so N
-// concurrent writers pay ~1 fsync, not N.
+// and fsyncs once for every record buffered so far — across all regions
+// (group commit), so N concurrent writers pay ~1 fsync, not N. With
+// KeepTail enabled the log also retains its durable-but-unflushed
+// records in memory (SyncedTail), the frame stream tail-streaming ships
+// to follower replicas.
 //
 // # SSTable format
 //
@@ -94,6 +113,24 @@ type Options struct {
 	// build belongs to. Swappable on a live log via WAL.SetAccount —
 	// a moved region's WAL bytes must charge its new host's budget.
 	Account func(bytes int)
+	// ExternalWAL opens the Backend without a private log: the store's
+	// records live in a shared server-wide WAL instead (the engine is
+	// handed a region-scoped handle via kv.Config.WAL). Backend.WAL and
+	// Backend.Log return nil.
+	ExternalWAL bool
+	// KeepTail retains durable-but-unflushed records in memory so
+	// WAL.SyncedTail can hand the replicator a tail frame stream to ship
+	// to followers. Memory cost is bounded by the unflushed working set
+	// (the same records sit in the memstores).
+	KeepTail bool
+	// OnSynced, when non-nil, is called after each successful
+	// commit-path fsync with the regions whose records gained coverage —
+	// the replicator's cue that fresh tail is shippable. Called without
+	// internal locks held; it must not block for long (it runs on a
+	// committing writer's goroutine). Rotation-covered records are
+	// reported with the next fsync, so a quiesce must reconcile
+	// explicitly rather than wait for a callback.
+	OnSynced func(regions []string)
 }
 
 func (o Options) withDefaults() Options {

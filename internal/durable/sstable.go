@@ -31,9 +31,13 @@ type blockSpan struct {
 // (write to temp, fsync, rename, fsync dir). Blocks are packed with the
 // same rule as the in-memory backend. It returns the file's metadata with
 // Bytes set to the real on-disk size. written, when non-nil, accumulates
-// the physical bytes (backend I/O accounting).
-func writeSSTable(path string, entries []kv.Entry, blockBytes int, opts Options, written *atomic.Int64) (kv.FileMeta, error) {
+// the physical bytes (backend I/O accounting). maxTSFloor raises the
+// recorded max-timestamp property (see Backend.CreateWithMaxTS).
+func writeSSTable(path string, entries []kv.Entry, blockBytes int, opts Options, written *atomic.Int64, maxTSFloor uint64) (kv.FileMeta, error) {
 	blocks, meta := kv.PackBlocks(entries, blockBytes)
+	if meta.MaxTS < maxTSFloor {
+		meta.MaxTS = maxTSFloor
+	}
 
 	var buf []byte
 	buf = append(buf, sstMagic...)

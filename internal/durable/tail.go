@@ -1,0 +1,105 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+
+	"met/internal/kv"
+)
+
+// TailFileName is the shipped WAL-tail file the replicator maintains in
+// each follower's replica directory, next to the copied SSTables. It
+// holds the primary's durable-but-unflushed records for that region in
+// the standard segment format; Master.RecoverServer replays it over the
+// replica SSTables so a failover loses at most the unsynced in-flight
+// window instead of the whole memstore.
+const TailFileName = "wal-tail.log"
+
+// TailFilePath returns the tail file's path inside a replica directory.
+func TailFilePath(replicaDir string) string {
+	return filepath.Join(replicaDir, TailFileName)
+}
+
+// WriteTailFile atomically replaces path with a tail file holding
+// entries (write to temp, fsync, rename, fsync dir). An empty entries
+// slice removes the file — the tail was flushed into shipped SSTables.
+// It returns the physical bytes written (for I/O budgeting).
+func WriteTailFile(path string, entries []kv.Entry, noSync bool) (int64, error) {
+	if len(entries) == 0 {
+		if err := os.Remove(path); err != nil {
+			if os.IsNotExist(err) {
+				return 0, nil
+			}
+			return 0, err
+		}
+		return 0, syncDir(filepath.Dir(path), noSync)
+	}
+	buf := append([]byte(walMagic), walVersion)
+	for _, e := range entries {
+		buf = append(buf, encodeRecord("", e, false)...)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := syncFile(f, noSync); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := syncDir(filepath.Dir(path), noSync); err != nil {
+		return 0, err
+	}
+	return int64(len(buf)), nil
+}
+
+// ReadTailFile reads a shipped tail file back. A missing file is an
+// empty tail. A torn or corrupt frame — the file was mid-ship when the
+// follower's host died — ends the read at the last good record and
+// reports torn; everything before it is intact (CRC-verified) and safe
+// to replay. Only real I/O errors are returned.
+func ReadTailFile(path string) (entries []kv.Entry, torn bool, err error) {
+	err = readSegment(path, func(r walRecord) {
+		if !r.drop {
+			entries = append(entries, r.e)
+		}
+	})
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		if errors.Is(err, ErrCorrupt) {
+			return entries, true, nil
+		}
+		return nil, false, err
+	}
+	return entries, false, nil
+}
+
+// SSTableMaxTimestamp reads the max-timestamp property of the SSTable
+// at path without loading its data blocks. Recovery uses it to rank
+// candidate replica sources by how much of the dead region's history
+// their files cover.
+func SSTableMaxTimestamp(path string) (uint64, error) {
+	t, err := openSSTable(path)
+	if err != nil {
+		return 0, err
+	}
+	defer t.Close()
+	return t.meta.MaxTS, nil
+}

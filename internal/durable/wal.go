@@ -15,30 +15,89 @@ import (
 )
 
 const (
-	walMagic        = "METW"
-	walVersion      = 1
+	walMagic   = "METW"
+	walVersion = 2 // region-tagged frames (shared, server-wide log)
+	// walVersionV1 is the legacy single-store format: frames carry no
+	// region field. Readable forever; never written anymore.
+	walVersionV1    = 1
 	walHeaderSize   = 5
 	frameHeaderSize = 8 // length (4, LE) + crc32c (4, LE)
 	walTombstone    = 1 << 0
+	// walDrop marks a region-drop record: every record for the same
+	// region appended before it is obsolete (the region's store was
+	// discarded). Replay applies markers in order, so a later store that
+	// re-mints the same region name cannot resurrect a predecessor's
+	// records.
+	walDrop = 1 << 1
 	// maxFrameBytes bounds a decoded frame length so a corrupt length
 	// field cannot drive a huge allocation.
 	maxFrameBytes = 1 << 30
 )
 
+// Hooks for the truncation and sync paths, swappable by tests (slow
+// filesystems, failing fsyncs). Production never touches them.
+var (
+	walRemoveFile = os.Remove
+	walSyncFile   = syncFile
+)
+
+// walRecord is one decoded log record: an entry tagged with the region
+// whose store appended it (empty for the legacy single-store format),
+// or a region-drop marker.
+type walRecord struct {
+	region string
+	drop   bool
+	e      kv.Entry
+}
+
 // walSegment is the in-memory record of one sealed on-disk segment.
 type walSegment struct {
-	idx   uint64
-	path  string
-	maxTS uint64
+	idx  uint64
+	path string
+	// maxTS maps each region with live records in this segment to its
+	// newest timestamp here. The segment may be deleted only when every
+	// one of those regions has flushed past that timestamp (or was
+	// dropped) — the truncation rule of the shared log.
+	maxTS map[string]uint64
 	count int
 }
 
-// WAL is the segmented write-ahead log. It implements kv.GroupWAL:
-// records are framed with CRC32C, segments rotate at a size threshold,
-// Truncate deletes whole segments whose entries a flush has made durable
-// elsewhere, and commit acknowledgement batches concurrent writers into
-// a single fsync (group commit; see the package documentation for the
-// leader/follower protocol).
+// covered reports whether the segment holds nothing recovery still
+// needs: every region with records here has flushed past its newest
+// record (or carries a drop marker).
+func (s *walSegment) covered(flushed map[string]uint64, dropped map[string]bool) bool {
+	for region, max := range s.maxTS {
+		if dropped[region] {
+			continue
+		}
+		if flushed[region] < max {
+			return false
+		}
+	}
+	return true
+}
+
+// tailRec is one unflushed record retained in memory for tail-streaming
+// (Options.KeepTail): the replicator ships the synced prefix of the
+// tail to followers so a failover can replay what the memstore held.
+type tailRec struct {
+	seq    uint64
+	region string
+	e      kv.Entry
+}
+
+// WAL is the segmented, group-committed write-ahead log. One WAL serves
+// a whole RegionServer: every hosted region appends through a
+// region-scoped handle (Region), so N regions share one fsync stream —
+// HBase's one-log-per-server design. The zero region name ("") is the
+// legacy single-store mode used when a kv backend owns a private log.
+//
+// Records are framed with CRC32C, segments rotate at a size threshold,
+// and Truncate deletes whole segments once *every* region's flushed
+// high-water mark passes the segment's per-region maxima. Commit
+// acknowledgement batches concurrent writers into a single fsync (group
+// commit; see the package documentation for the leader/follower
+// protocol).
 //
 // Locking: mu serializes appends, rotation, truncation and replay.
 // Commit waiters synchronize on the separate committer lock so that an
@@ -55,12 +114,17 @@ type WAL struct {
 	activeIdx   uint64
 	activePath  string
 	activeBytes int64
-	activeMaxTS uint64
+	activeMaxTS map[string]uint64
 	activeCount int
 	sealed      []walSegment // oldest first
 	seq         uint64       // records buffered so far (monotonic)
-	syncs       int64        // commit-path sync rounds (group-commit batching metric)
+	syncs       int64        // successful commit-path sync rounds
 	closed      bool
+
+	flushed map[string]uint64 // per-region flushed high-water marks
+	dropped map[string]bool   // regions whose records a drop marker voids
+	pending map[string]bool   // regions appended since the last good fsync
+	tail    []tailRec         // synced-but-unflushed records (KeepTail)
 
 	// bytesAppended counts physical log bytes (frames + segment
 	// headers); appends also report to opts.Account for the shared
@@ -91,7 +155,13 @@ func OpenWAL(dir string, opts Options) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	w := &WAL{dir: dir, opts: opts}
+	w := &WAL{
+		dir:     dir,
+		opts:    opts,
+		flushed: make(map[string]uint64),
+		dropped: make(map[string]bool),
+		pending: make(map[string]bool),
+	}
 	w.committer.cond = sync.NewCond(&w.committer.mu)
 
 	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
@@ -105,13 +175,35 @@ func OpenWAL(dir string, opts Options) (*WAL, error) {
 		if _, err := fmt.Sscanf(filepath.Base(p), "wal-%d.log", &idx); err != nil {
 			continue
 		}
-		seg := walSegment{idx: idx, path: p}
+		seg := walSegment{idx: idx, path: p, maxTS: make(map[string]uint64)}
 		// Scan for metadata; torn tails are fine here (recovery proper
-		// re-reads the segment and stops at the same point).
-		_ = readSegment(p, func(e kv.Entry) {
+		// re-reads the segment and stops at the same point). A drop
+		// marker voids the region's records in every earlier segment, so
+		// those records must not pin segments either.
+		_ = readSegment(p, func(r walRecord) {
 			seg.count++
-			if e.Timestamp > seg.maxTS {
-				seg.maxTS = e.Timestamp
+			if r.drop {
+				w.dropped[r.region] = true
+				for i := range w.sealed {
+					delete(w.sealed[i].maxTS, r.region)
+				}
+				delete(seg.maxTS, r.region)
+				w.dropTailLocked(r.region, ^uint64(0))
+				return
+			}
+			delete(w.dropped, r.region)
+			if r.e.Timestamp > seg.maxTS[r.region] {
+				seg.maxTS[r.region] = r.e.Timestamp
+			}
+			// Recovered records are durable-but-unflushed until a flush
+			// truncation says otherwise — exactly the tail invariant. A
+			// restarted server must keep offering them to the replicator,
+			// or an empty post-restart tail ship would revoke the
+			// followers' coverage of records that now exist only in this
+			// server's memstores and its own log. Zero seq keeps them
+			// below every future fsync watermark (immediately shippable).
+			if opts.KeepTail {
+				w.tail = append(w.tail, tailRec{region: r.region, e: r.e})
 			}
 		})
 		w.sealed = append(w.sealed, seg)
@@ -123,6 +215,30 @@ func OpenWAL(dir string, opts Options) (*WAL, error) {
 		return nil, err
 	}
 	return w, nil
+}
+
+// Region returns the append/truncate/replay handle for one region's
+// records in the shared log. The handle implements kv.GroupWAL, so a
+// kv.Store plugs it in as its WAL. Registering a name clears a pending
+// drop marker for it — a re-minted region starts with a clean slate and
+// a zero flush high-water mark.
+func (w *WAL) Region(name string) *RegionLog {
+	w.mu.Lock()
+	if w.dropped[name] {
+		delete(w.dropped, name)
+		// The marker voided the predecessor's records; purge its
+		// bookkeeping so stale maxima cannot pin segments against the
+		// new store's (restarted) flush clock.
+		for i := range w.sealed {
+			delete(w.sealed[i].maxTS, name)
+		}
+		delete(w.activeMaxTS, name)
+	}
+	// The new store's flush clock starts from its own recovered state; a
+	// stale high-water mark must not mark its future records as covered.
+	delete(w.flushed, name)
+	w.mu.Unlock()
+	return &RegionLog{w: w, name: name}
 }
 
 // openSegmentLocked creates and becomes the active segment idx.
@@ -141,7 +257,7 @@ func (w *WAL) openSegmentLocked(idx uint64) error {
 	w.activeIdx = idx
 	w.activePath = path
 	w.activeBytes = walHeaderSize
-	w.activeMaxTS = 0
+	w.activeMaxTS = make(map[string]uint64)
 	w.activeCount = 0
 	return syncDir(w.dir, w.opts.NoSync)
 }
@@ -149,7 +265,9 @@ func (w *WAL) openSegmentLocked(idx uint64) error {
 // rotateLocked seals the active segment (fsync + close) and opens the
 // next one. Because the outgoing segment is fsynced, every record
 // buffered so far is durable; the committer is advanced so pending
-// commit waiters return without another fsync.
+// commit waiters return without another fsync. Regions stay in the
+// pending set — the next commit-path sync (or an explicit replication
+// reconcile) notifies them.
 func (w *WAL) rotateLocked() error {
 	if err := syncFile(w.active, w.opts.NoSync); err != nil {
 		return err
@@ -174,15 +292,20 @@ func (w *WAL) rotateLocked() error {
 	return nil
 }
 
-// encodeFrame serializes one entry as a CRC32C-framed record.
-func encodeFrame(e kv.Entry) []byte {
-	payload := make([]byte, 0, 1+binary.MaxVarintLen64*3+len(e.Key)+len(e.Value))
+// encodeRecord serializes one record as a CRC32C-framed v2 frame.
+func encodeRecord(region string, e kv.Entry, drop bool) []byte {
+	payload := make([]byte, 0, 2+binary.MaxVarintLen64*4+len(region)+len(e.Key)+len(e.Value))
 	var flags byte
 	if e.Tombstone {
 		flags |= walTombstone
 	}
+	if drop {
+		flags |= walDrop
+	}
 	payload = append(payload, flags)
 	payload = binary.AppendUvarint(payload, e.Timestamp)
+	payload = binary.AppendUvarint(payload, uint64(len(region)))
+	payload = append(payload, region...)
 	payload = binary.AppendUvarint(payload, uint64(len(e.Key)))
 	payload = append(payload, e.Key...)
 	payload = binary.AppendUvarint(payload, uint64(len(e.Value)))
@@ -195,40 +318,52 @@ func encodeFrame(e kv.Entry) []byte {
 	return frame
 }
 
-// decodePayload parses a frame payload back into an entry.
-func decodePayload(payload []byte) (kv.Entry, error) {
+// decodePayload parses a frame payload back into a record. Version 1
+// frames carry no region field and decode with region "".
+func decodePayload(payload []byte, version byte) (walRecord, error) {
 	if len(payload) < 1 {
-		return kv.Entry{}, corruptf("empty wal payload")
+		return walRecord{}, corruptf("empty wal payload")
 	}
-	e := kv.Entry{Tombstone: payload[0]&walTombstone != 0}
+	flags := payload[0]
+	rec := walRecord{
+		drop: flags&walDrop != 0,
+		e:    kv.Entry{Tombstone: flags&walTombstone != 0},
+	}
 	buf := payload[1:]
 	ts, n := binary.Uvarint(buf)
 	if n <= 0 {
-		return kv.Entry{}, corruptf("wal timestamp")
+		return walRecord{}, corruptf("wal timestamp")
 	}
-	e.Timestamp = ts
+	rec.e.Timestamp = ts
 	buf = buf[n:]
+	if version >= walVersion {
+		rlen, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf)-n) < rlen {
+			return walRecord{}, corruptf("wal region")
+		}
+		rec.region = string(buf[n : n+int(rlen)])
+		buf = buf[n+int(rlen):]
+	}
 	klen, n := binary.Uvarint(buf)
 	if n <= 0 || uint64(len(buf)-n) < klen {
-		return kv.Entry{}, corruptf("wal key")
+		return walRecord{}, corruptf("wal key")
 	}
-	e.Key = string(buf[n : n+int(klen)])
+	rec.e.Key = string(buf[n : n+int(klen)])
 	buf = buf[n+int(klen):]
 	vlen, n := binary.Uvarint(buf)
 	if n <= 0 || uint64(len(buf)-n) != vlen {
-		return kv.Entry{}, corruptf("wal value")
+		return walRecord{}, corruptf("wal value")
 	}
 	if vlen > 0 {
-		e.Value = append([]byte(nil), buf[n:n+int(vlen)]...)
+		rec.e.Value = append([]byte(nil), buf[n:n+int(vlen)]...)
 	}
-	return e, nil
+	return rec, nil
 }
 
-// AppendBuffered implements kv.GroupWAL: the record is written to the
-// active segment (establishing its replay position) and a commit
-// function is returned that blocks until an fsync covers it.
-func (w *WAL) AppendBuffered(e kv.Entry) (func() error, error) {
-	frame := encodeFrame(e)
+// appendRecord writes one framed record for region and returns the
+// commit function that blocks until an fsync covers it.
+func (w *WAL) appendRecord(region string, e kv.Entry, drop bool) (func() error, error) {
+	frame := encodeRecord(region, e, drop)
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -247,18 +382,57 @@ func (w *WAL) AppendBuffered(e kv.Entry) (func() error, error) {
 	}
 	w.activeBytes += int64(len(frame))
 	w.activeCount++
-	if e.Timestamp > w.activeMaxTS {
-		w.activeMaxTS = e.Timestamp
-	}
 	w.seq++
 	seq := w.seq
+	if drop {
+		w.dropped[region] = true
+		delete(w.activeMaxTS, region)
+		for i := range w.sealed {
+			delete(w.sealed[i].maxTS, region)
+		}
+		delete(w.flushed, region)
+		w.dropTailLocked(region, ^uint64(0))
+	} else {
+		delete(w.dropped, region)
+		if e.Timestamp > w.activeMaxTS[region] {
+			w.activeMaxTS[region] = e.Timestamp
+		}
+		if w.opts.KeepTail {
+			cp := e
+			cp.Value = append([]byte(nil), e.Value...)
+			w.tail = append(w.tail, tailRec{seq: seq, region: region, e: cp})
+		}
+	}
+	w.pending[region] = true
 	w.mu.Unlock()
 	return func() error { return w.commitTo(seq) }, nil
+}
+
+// AppendBuffered implements kv.GroupWAL in legacy single-store mode:
+// the record is written to the active segment (establishing its replay
+// position) and a commit function is returned that blocks until an
+// fsync covers it.
+func (w *WAL) AppendBuffered(e kv.Entry) (func() error, error) {
+	return w.appendRecord("", e, false)
 }
 
 // Append implements kv.WAL: append and wait for durability.
 func (w *WAL) Append(e kv.Entry) error {
 	commit, err := w.AppendBuffered(e)
+	if err != nil {
+		return err
+	}
+	return commit()
+}
+
+// Drop durably voids every record region has appended: a marker frame
+// is written and fsynced, after which replay (live or after a restart)
+// returns nothing for the region. Called when a region's store is
+// discarded (split parent, failed daughter, moved-away region) so its
+// records stop pinning segments and a re-minted region name cannot
+// resurrect them.
+func (w *WAL) Drop(region string) error {
+	commit, err := w.appendRecord(region, kv.Entry{}, true)
 	if err != nil {
 		return err
 	}
@@ -307,59 +481,138 @@ func (w *WAL) commitTo(seq uint64) error {
 // number that fsync covers. Records in already-sealed segments were
 // fsynced at rotation, so covering "everything buffered into the current
 // active segment" covers everything up to the sampled sequence number.
+//
+// Only successful rounds count toward SyncRounds — the writes/fsync
+// metric measures achieved batching, and a failed fsync durably covered
+// nothing. On success the regions that gained coverage are reported to
+// Options.OnSynced (off-lock), the replicator's cue to ship fresh tail.
 func (w *WAL) syncActive() (uint64, error) {
 	w.mu.Lock()
 	f := w.active
 	target := w.seq
 	closed := w.closed
+	var regions []string
+	if w.opts.OnSynced != nil && len(w.pending) > 0 {
+		regions = make([]string, 0, len(w.pending))
+		for r := range w.pending {
+			regions = append(regions, r)
+		}
+		w.pending = make(map[string]bool)
+	}
 	w.mu.Unlock()
 	if closed || f == nil {
 		// Close fsyncs before closing, so everything buffered is durable.
+		if len(regions) > 0 {
+			w.opts.OnSynced(regions)
+		}
 		return target, nil
 	}
-	err := syncFile(f, w.opts.NoSync)
-	w.mu.Lock()
-	w.syncs++
-	w.mu.Unlock()
+	err := walSyncFile(f, w.opts.NoSync)
 	if err != nil && errors.Is(err, os.ErrClosed) {
 		// A rotation sealed this segment after we sampled it; sealing
 		// fsyncs first, so the records are durable.
 		err = nil
 	}
-	return target, err
+	if err != nil {
+		// The round covered nothing: don't count it, and put the regions
+		// back so the next successful round reports them.
+		w.mu.Lock()
+		for _, r := range regions {
+			w.pending[r] = true
+		}
+		w.mu.Unlock()
+		return target, err
+	}
+	w.mu.Lock()
+	w.syncs++
+	w.mu.Unlock()
+	if len(regions) > 0 {
+		w.opts.OnSynced(regions)
+	}
+	return target, nil
 }
 
-// Truncate implements kv.WAL: entries with Timestamp <= upTo are durable
-// elsewhere (a flushed SSTable), so every segment whose newest record is
-// <= upTo is deleted whole — no rewriting. If the active segment itself
-// only holds flushed entries it is sealed first, so the log shrinks to
-// one empty active segment after each flush.
-func (w *WAL) Truncate(upTo uint64) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
+// activeCoveredLocked reports whether every record in the active
+// segment is flushed (or dropped), i.e. sealing it now would yield an
+// immediately deletable segment.
+func (w *WAL) activeCoveredLocked() bool {
+	for region, max := range w.activeMaxTS {
+		if w.dropped[region] {
+			continue
+		}
+		if w.flushed[region] < max {
+			return false
+		}
+	}
+	return true
+}
+
+// dropTailLocked removes region's retained tail records with
+// Timestamp <= upTo.
+func (w *WAL) dropTailLocked(region string, upTo uint64) {
+	if len(w.tail) == 0 {
 		return
 	}
-	if w.activeCount > 0 && w.activeMaxTS <= upTo {
+	kept := w.tail[:0]
+	for _, rec := range w.tail {
+		if rec.region == region && rec.e.Timestamp <= upTo {
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	for i := len(kept); i < len(w.tail); i++ {
+		w.tail[i] = tailRec{}
+	}
+	w.tail = kept
+}
+
+// truncateRegion raises region's flushed high-water mark to upTo and
+// deletes every segment no region still needs. Entries <= upTo are
+// durable elsewhere (a flushed SSTable), so a segment whose per-region
+// maxima are all covered is deleted whole — no rewriting. Deletable
+// segments are taken strictly oldest-first (a prefix): a drop marker
+// voids records in *earlier* segments, so a marker's segment must
+// outlive them on disk or a crash could resurrect what it voided.
+//
+// The unlink and directory sync run after the lock is released —
+// directory I/O on a slow filesystem must not stall concurrent appends
+// (every flush truncates, so this is a hot path).
+func (w *WAL) truncateRegion(region string, upTo uint64) {
+	var doomed []string
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	if upTo > w.flushed[region] {
+		w.flushed[region] = upTo
+	}
+	w.dropTailLocked(region, upTo)
+	if w.activeCount > 0 && w.activeCoveredLocked() {
 		if err := w.rotateLocked(); err != nil {
+			w.mu.Unlock()
 			return // keep the data; truncation is only an optimization
 		}
 	}
-	kept := w.sealed[:0]
-	removed := false
-	for _, seg := range w.sealed {
-		if seg.maxTS <= upTo {
-			_ = os.Remove(seg.path)
-			removed = true
-			continue
-		}
-		kept = append(kept, seg)
+	cut := 0
+	for cut < len(w.sealed) && w.sealed[cut].covered(w.flushed, w.dropped) {
+		doomed = append(doomed, w.sealed[cut].path)
+		cut++
 	}
-	w.sealed = kept
-	if removed {
+	if cut > 0 {
+		w.sealed = append([]walSegment(nil), w.sealed[cut:]...)
+	}
+	w.mu.Unlock()
+	if len(doomed) > 0 {
+		for _, p := range doomed {
+			_ = walRemoveFile(p)
+		}
 		_ = syncDir(w.dir, w.opts.NoSync)
 	}
 }
+
+// Truncate implements kv.WAL in legacy single-store mode.
+func (w *WAL) Truncate(upTo uint64) { w.truncateRegion("", upTo) }
 
 // ReplayReport describes what recovery found.
 type ReplayReport struct {
@@ -372,22 +625,30 @@ type ReplayReport struct {
 	TornSegment string
 }
 
-// Replay reads every intact record, oldest segment first, in append
-// order — the recovery stream. It stops at the first bad frame (short
-// header, short payload, checksum mismatch, or undecodable payload):
-// everything before it is returned, everything after is dropped, exactly
-// the contract a physical log can honor after a crash.
-func (w *WAL) Replay() ([]kv.Entry, ReplayReport, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	var entries []kv.Entry
+// replayRecords reads every intact record, oldest segment first, in
+// append order, applying drop markers (a marker removes the region's
+// earlier records from the result). Caller holds w.mu.
+func (w *WAL) replayRecords() ([]walRecord, ReplayReport, error) {
+	var recs []walRecord
 	var report ReplayReport
 	segs := append([]walSegment(nil), w.sealed...)
 	if w.activeCount > 0 {
 		segs = append(segs, walSegment{idx: w.activeIdx, path: w.activePath})
 	}
 	for _, seg := range segs {
-		err := readSegment(seg.path, func(e kv.Entry) { entries = append(entries, e) })
+		err := readSegment(seg.path, func(r walRecord) {
+			if r.drop {
+				kept := recs[:0]
+				for _, rr := range recs {
+					if rr.region != r.region {
+						kept = append(kept, rr)
+					}
+				}
+				recs = kept
+				return
+			}
+			recs = append(recs, r)
+		})
 		if err != nil {
 			if errors.Is(err, ErrCorrupt) {
 				report.Torn = true
@@ -397,8 +658,45 @@ func (w *WAL) Replay() ([]kv.Entry, ReplayReport, error) {
 			return nil, report, err
 		}
 	}
-	report.Replayed = len(entries)
+	report.Replayed = len(recs)
+	return recs, report, nil
+}
+
+// Replay reads every intact record across all regions, oldest segment
+// first, in append order — the recovery stream. It stops at the first
+// bad frame (short header, short payload, checksum mismatch, or
+// undecodable payload): everything before it is returned, everything
+// after is dropped, exactly the contract a physical log can honor after
+// a crash.
+func (w *WAL) Replay() ([]kv.Entry, ReplayReport, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	recs, report, err := w.replayRecords()
+	if err != nil {
+		return nil, report, err
+	}
+	entries := make([]kv.Entry, 0, len(recs))
+	for _, r := range recs {
+		entries = append(entries, r.e)
+	}
 	return entries, report, nil
+}
+
+// replayRegion returns the intact records belonging to one region.
+func (w *WAL) replayRegion(region string) ([]kv.Entry, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	recs, _, err := w.replayRecords()
+	if err != nil {
+		return nil, err
+	}
+	var entries []kv.Entry
+	for _, r := range recs {
+		if r.region == region {
+			entries = append(entries, r.e)
+		}
+	}
+	return entries, nil
 }
 
 // ReplayEntries is the recovery entry point kv.OpenStore prefers: a
@@ -421,10 +719,33 @@ func (w *WAL) Entries() []kv.Entry {
 	return entries
 }
 
+// SyncedTail returns region's durable-but-unflushed records: everything
+// an fsync has covered that no flush has truncated yet. This is the
+// frame stream the replicator ships to followers — after a failover the
+// recovering master replays it over the replica SSTables, shrinking the
+// loss window from "whole memstore" to the unsynced in-flight tail.
+// Requires Options.KeepTail.
+func (w *WAL) SyncedTail(region string) []kv.Entry {
+	c := &w.committer
+	c.mu.Lock()
+	synced := c.synced
+	c.mu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []kv.Entry
+	for _, rec := range w.tail {
+		if rec.region != region || rec.seq > synced {
+			continue
+		}
+		out = append(out, rec.e)
+	}
+	return out
+}
+
 // readSegment streams a segment's intact records into fn. A torn or
 // corrupt frame yields ErrCorrupt; records before it are still
 // delivered.
-func readSegment(path string, fn func(kv.Entry)) error {
+func readSegment(path string, fn func(walRecord)) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -432,8 +753,9 @@ func readSegment(path string, fn func(kv.Entry)) error {
 	if len(buf) < walHeaderSize || string(buf[:4]) != walMagic {
 		return corruptf("wal segment header %s", filepath.Base(path))
 	}
-	if buf[4] != walVersion {
-		return fmt.Errorf("durable: unsupported wal version %d in %s", buf[4], filepath.Base(path))
+	version := buf[4]
+	if version != walVersionV1 && version != walVersion {
+		return fmt.Errorf("durable: unsupported wal version %d in %s", version, filepath.Base(path))
 	}
 	buf = buf[walHeaderSize:]
 	for len(buf) > 0 {
@@ -449,11 +771,11 @@ func readSegment(path string, fn func(kv.Entry)) error {
 		if crc32.Checksum(payload, castagnoli) != sum {
 			return corruptf("frame checksum mismatch in %s", filepath.Base(path))
 		}
-		e, err := decodePayload(payload)
+		rec, err := decodePayload(payload, version)
 		if err != nil {
 			return err
 		}
-		fn(e)
+		fn(rec)
 		buf = buf[frameHeaderSize+int(length):]
 	}
 	return nil
@@ -474,8 +796,16 @@ func (w *WAL) SetAccount(fn func(bytes int)) {
 // BytesAppended returns the physical bytes written to the log so far.
 func (w *WAL) BytesAppended() int64 { return w.bytesAppended.Load() }
 
-// SyncRounds returns how many commit-path sync rounds have run; with N
-// concurrent writers it stays well below N appends (group commit).
+// Appends returns the number of records buffered so far.
+func (w *WAL) Appends() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return int64(w.seq)
+}
+
+// SyncRounds returns how many commit-path sync rounds have succeeded;
+// with N concurrent writers — across any number of regions on a shared
+// log — it stays well below N appends (group commit).
 func (w *WAL) SyncRounds() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -519,4 +849,61 @@ func (w *WAL) Close() error {
 	return err
 }
 
+// RegionLog is a region-scoped handle on a shared WAL, implementing
+// kv.GroupWAL: appends tag records with the region name, Truncate
+// raises only this region's flushed high-water mark (segments are
+// reclaimed when every region's mark passes them), and replay filters
+// to this region's records.
+type RegionLog struct {
+	w    *WAL
+	name string
+}
+
+// Owner returns the shared WAL this handle appends to; the hosting
+// layer uses it to detect a store still wired to another server's log
+// after a region move.
+func (h *RegionLog) Owner() *WAL { return h.w }
+
+// Name returns the region name the handle scopes to.
+func (h *RegionLog) Name() string { return h.name }
+
+// Append implements kv.WAL: append and wait for durability.
+func (h *RegionLog) Append(e kv.Entry) error {
+	commit, err := h.w.appendRecord(h.name, e, false)
+	if err != nil {
+		return err
+	}
+	return commit()
+}
+
+// AppendBuffered implements kv.GroupWAL.
+func (h *RegionLog) AppendBuffered(e kv.Entry) (func() error, error) {
+	return h.w.appendRecord(h.name, e, false)
+}
+
+// Truncate implements kv.WAL: this region's entries <= upTo are durable
+// in a flushed SSTable.
+func (h *RegionLog) Truncate(upTo uint64) { h.w.truncateRegion(h.name, upTo) }
+
+// Entries implements kv.WAL for recovery; errors surface as an empty
+// result (ReplayEntries reports them).
+func (h *RegionLog) Entries() []kv.Entry {
+	entries, err := h.ReplayEntries()
+	if err != nil {
+		return nil
+	}
+	return entries
+}
+
+// ReplayEntries is the recovery entry point kv.OpenStore prefers (see
+// WAL.ReplayEntries).
+func (h *RegionLog) ReplayEntries() ([]kv.Entry, error) {
+	return h.w.replayRegion(h.name)
+}
+
+// SyncedTail returns this region's durable-but-unflushed records (see
+// WAL.SyncedTail).
+func (h *RegionLog) SyncedTail() []kv.Entry { return h.w.SyncedTail(h.name) }
+
 var _ kv.GroupWAL = (*WAL)(nil)
+var _ kv.GroupWAL = (*RegionLog)(nil)

@@ -136,7 +136,7 @@ func TestWALCorruptCRCMidLog(t *testing.T) {
 	// Flip one payload byte inside the second record: replay must keep
 	// record 1 and stop, dropping records 2 and 3.
 	seg := activeSegment(t, dir)
-	frame1 := encodeFrame(testEntry(1))
+	frame1 := encodeRecord("", testEntry(1), false)
 	off := int64(walHeaderSize + len(frame1) + frameHeaderSize + 1)
 	f, err := os.OpenFile(seg, os.O_WRONLY, 0)
 	if err != nil {

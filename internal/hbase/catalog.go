@@ -81,12 +81,44 @@ package hbase
 //	                   directories are the orphans.
 //	RecoverServer      per dead region: copy its replica SSTables into
 //	                   a fresh gen-suffixed directory on a follower,
+//	                   replay the replica's shipped WAL tail over them,
 //	                   open it, THEN put the table row; finally delete
-//	                   the dead server's row. A crash mid-way
-//	                   cold-starts the partially recovered layout
-//	                   (recovered regions on their followers, the rest
-//	                   still on the — then revived — dead server) and
-//	                   RecoverServer can simply be re-run.
+//	                   the dead server's row and reclaim its shared WAL
+//	                   directory. A crash mid-way cold-starts the
+//	                   partially recovered layout (recovered regions on
+//	                   their followers, the rest still on the — then
+//	                   revived — dead server) and RecoverServer can
+//	                   simply be re-run.
+//
+// # WAL ownership
+//
+// Since the shared server-wide log (durable.WAL), a region's records
+// live in its *hosting server's* WAL directory (<DataDir>/wal/<server>)
+// rather than its own region directory — so WAL ownership follows the
+// assignment the table rows record, and the commit ordering above
+// gains a log-side obligation at every region hand-off:
+//
+//	MoveRegion / DecommissionServer   before the destination serves the
+//	       region, its store flushes and switches onto the
+//	       destination's log (kv.Store.SwitchWAL). The flush makes the
+//	       old log's records for the region durable in SSTables — and
+//	       truncated away — BEFORE the table row commits the new
+//	       assignment, so a cold start never needs a log the assignment
+//	       no longer points at.
+//	Abandoned regions (failed create, superseded split parent,
+//	       restore's old layout)   discarding the store appends a
+//	       durable drop marker to the shared log; without it, segments
+//	       pinned by the abandoned region would replay its records into
+//	       a future region re-minted under the same name.
+//	RecoverServer   never reads the dead server's WAL directory (it
+//	       stands in for a lost disk). What survives of the memstore is
+//	       the replica's shipped tail (wal-tail.log, written by the
+//	       replicator after each commit fsync): recovery replays it
+//	       over the replica SSTables before measuring loss, so the
+//	       reported LostWrites shrinks to the unsynced in-flight
+//	       window. The dead server's WAL directory is reclaimed after
+//	       its membership row is dropped; a crash between the two
+//	       leaves an orphan directory OpenCluster's WAL sweep removes.
 //
 // # Recovery order
 //

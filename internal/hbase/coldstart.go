@@ -129,6 +129,10 @@ func OpenCluster(dataDir string) (*Master, error) {
 		_, ok := servers[server]
 		return ok
 	})
+	sweepOrphanWALs(dataDir, func(server string) bool {
+		_, ok := servers[server]
+		return ok
+	})
 	sweepOrphanSnapshots(dataDir, st.snapshots)
 	return m, nil
 }
@@ -177,6 +181,26 @@ func sweepOrphanReplicas(dataDir string, live map[string]bool, isMember func(str
 			if !live[r.Name()] {
 				_ = os.RemoveAll(filepath.Join(root, s.Name(), r.Name()))
 			}
+		}
+	}
+}
+
+// sweepOrphanWALs removes shared-log directories of servers the
+// catalog no longer lists as members — the durable leftover of a
+// RecoverServer or DecommissionServer that crashed between its
+// server-row delete and the directory reclaim. A member's WAL is never
+// touched: NewRegionServer has already reopened it (and replayed its
+// unflushed tail) by the time the sweep runs.
+func sweepOrphanWALs(dataDir string, isMember func(string) bool) {
+	root := filepath.Join(dataDir, "wal")
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		return // no shared logs yet
+	}
+	for _, d := range dirs {
+		name, uerr := url.PathUnescape(d.Name())
+		if uerr != nil || !isMember(name) {
+			_ = os.RemoveAll(filepath.Join(root, d.Name()))
 		}
 	}
 }

@@ -27,6 +27,9 @@ func newDurableCluster(t *testing.T, n int, dataDir string) (*Master, *Client) {
 			t.Fatal(err)
 		}
 	}
+	// Tail streaming keeps the replicators busy after the last Put;
+	// shut the servers down before the temp dir is reclaimed.
+	t.Cleanup(m.HardStop)
 	return m, NewClient(m)
 }
 

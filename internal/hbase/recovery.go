@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"met/internal/durable"
 	"met/internal/replication"
 )
 
@@ -31,11 +32,21 @@ type RegionRecovery struct {
 	Source string
 	// ReplicaFiles is how many SSTables the replica held.
 	ReplicaFiles int
+	// TailWrites is how many durable-but-unflushed records were replayed
+	// from the replica's shipped WAL tail (wal-tail.log) — the writes
+	// that sat in the dead server's memstore yet still survive because
+	// tail streaming shipped them after their commit fsync.
+	TailWrites int
+	// TailTorn reports that the shipped tail frame stream ended in a
+	// torn frame (the shipper died mid-rename is impossible — writes are
+	// atomic — but a torn source tail is shipped as-is); the intact
+	// prefix was still replayed.
+	TailTorn bool
 	// LostWrites counts the acknowledged mutations the replica did not
-	// cover — the dead server's unflushed memstore plus any flush that
-	// had not shipped. Store timestamps are minted densely (one per
-	// mutation), so the dead store's clock minus the recovered store's
-	// clock is exactly that count.
+	// cover — after the tail replay, only the unsynced in-flight window.
+	// Store timestamps are minted densely (one per mutation), so the
+	// dead store's clock minus the recovered store's clock is exactly
+	// that count.
 	LostWrites int64
 }
 
@@ -130,6 +141,11 @@ func (m *Master) RecoverServer(name string) (*RecoveryReport, error) {
 	if err := m.dropServer(name); err != nil {
 		return report, err
 	}
+	// The dead server's shared WAL is no longer referenced by anything:
+	// every region it logged for was either recovered (from the replica
+	// copies and shipped tail, never this directory) or lost and
+	// reported. Reclaim it like the region directories.
+	_ = os.RemoveAll(serverWALDir(rs.Config().DataDir, name))
 	if err := m.refreshFollowersAfterLoss(name); err != nil {
 		return report, err
 	}
@@ -174,6 +190,41 @@ func (m *Master) recoverRegion(dead *RegionServer, r *Region, gen int64) (Region
 	if err != nil {
 		return rec, err
 	}
+	discard := func() {
+		st := nr.Store()
+		h, _ := st.WAL().(*durable.RegionLog)
+		st.Close()
+		if h != nil {
+			_ = h.Owner().Drop(h.Name())
+		}
+		_ = os.RemoveAll(newDir)
+	}
+	if replicaSrc != "" {
+		// Replay the shipped WAL tail over the replica SSTables: the
+		// records the dead server's memstore held but tail streaming had
+		// already made follower-durable. Records the files already cover
+		// are skipped (a flush racing the last ship duplicates them);
+		// a torn trailing frame yields the intact prefix.
+		tail, torn, err := durable.ReadTailFile(durable.TailFilePath(replicaSrc))
+		if err != nil {
+			discard()
+			return rec, fmt.Errorf("read replica tail: %w", err)
+		}
+		rec.TailTorn = torn
+		if len(tail) > 0 {
+			applied, err := nr.Store().ApplyReplayed(tail)
+			if err != nil {
+				discard()
+				return rec, fmt.Errorf("replay replica tail: %w", err)
+			}
+			rec.TailWrites = applied
+		}
+		// The replayed tail is in the new store (durably, through the
+		// destination's shared WAL) but the table row is not yet
+		// committed: a crash here cold-starts the old layout and a
+		// re-run replays the tail again, idempotently.
+		m.crash("recoverserver.tail-replayed")
+	}
 	rec.LostWrites = int64(deadTS) - int64(nr.Store().MaxTimestamp())
 	if rec.LostWrites < 0 {
 		rec.LostWrites = 0
@@ -186,8 +237,7 @@ func (m *Master) recoverRegion(dead *RegionServer, r *Region, gen int64) (Region
 	// it, the recovered region is authoritative.
 	t, err := m.Table(r.Table())
 	if err != nil {
-		nr.Store().Close()
-		_ = os.RemoveAll(newDir)
+		discard()
 		return rec, err
 	}
 	t.swapRegion(r, nr)
@@ -220,17 +270,21 @@ func (m *Master) recoverRegion(dead *RegionServer, r *Region, gen int64) (Region
 }
 
 // pickRecoverySource chooses where to recover a region: the live
-// follower whose replica directory holds the most SSTables (ties to the
-// first by follower order), or — when no follower survives or none ever
-// received a copy — any live server with an empty replica (the loss is
-// then the whole region, and it is reported). Replica directories are
-// resolved under the dead primary's DataDir — the same convention the
-// shipper wrote them with — so heterogeneous per-server DataDirs find
-// the copies where they actually are.
+// follower whose replica covers the highest timestamp — the max over
+// its SSTables' clocks and the last record of its shipped WAL tail —
+// so the replay loses the least (file count breaks ties: a replica
+// that kept more un-compacted history restores more evenly; remaining
+// ties go to the first by follower order). When no follower survives
+// or none ever received a copy, any live server starts the region
+// empty (the loss is then the whole region, and it is reported).
+// Replica directories are resolved under the dead primary's DataDir —
+// the same convention the shipper wrote them with — so heterogeneous
+// per-server DataDirs find the copies where they actually are.
 func (m *Master) pickRecoverySource(dead *RegionServer, r *Region) (*RegionServer, string) {
 	var best *RegionServer
 	bestDir := ""
 	bestFiles := -1
+	var bestCovered uint64
 	for _, f := range r.Followers() {
 		rs, err := m.Server(f)
 		if err != nil {
@@ -241,8 +295,10 @@ func (m *Master) pickRecoverySource(dead *RegionServer, r *Region) (*RegionServe
 		if err != nil {
 			continue
 		}
-		if len(ids) > bestFiles {
-			best, bestDir, bestFiles = rs, dir, len(ids)
+		covered := replicaCoveredTS(dir, ids)
+		if best == nil || covered > bestCovered ||
+			(covered == bestCovered && len(ids) > bestFiles) {
+			best, bestDir, bestFiles, bestCovered = rs, dir, len(ids), covered
 		}
 	}
 	if best != nil {
@@ -260,6 +316,27 @@ func (m *Master) pickRecoverySource(dead *RegionServer, r *Region) (*RegionServe
 		return servers[i].Name() < servers[j].Name()
 	})
 	return servers[0], ""
+}
+
+// replicaCoveredTS is the highest timestamp a replica directory can
+// restore: the max SSTable clock across its shipped files, raised by
+// the newest record of its shipped WAL tail. Unreadable files count as
+// zero — a corrupt replica simply loses the election to a better one.
+func replicaCoveredTS(dir string, ids []uint64) uint64 {
+	var covered uint64
+	for _, id := range ids {
+		if ts, err := durable.SSTableMaxTimestamp(replication.SSTablePath(dir, id)); err == nil && ts > covered {
+			covered = ts
+		}
+	}
+	if tail, _, err := durable.ReadTailFile(durable.TailFilePath(dir)); err == nil {
+		for _, e := range tail {
+			if e.Timestamp > covered {
+				covered = e.Timestamp
+			}
+		}
+	}
+	return covered
 }
 
 // QuiesceReplication blocks until every server's replicator has shipped

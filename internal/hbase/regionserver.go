@@ -67,6 +67,15 @@ type RegionServer struct {
 	// compactor pool's I/O budget as background bytes. Nil on the
 	// in-memory backend (no DataDir: nothing shippable).
 	replicator *replication.Replicator
+
+	// wal is the server's shared group-commit log (HBase's
+	// one-WAL-per-RegionServer design): every hosted region appends
+	// through a region-scoped handle, so N regions share one fsync
+	// stream. With a replicator the log retains its synced-but-unflushed
+	// tail (durable.Options.KeepTail) and announces commit rounds
+	// (OnSynced), which is what lets tail-streaming ship a hot memstore's
+	// acknowledged writes to followers. Nil on the in-memory backend.
+	wal *durable.WAL
 }
 
 // NewRegionServer creates a running server and registers its co-located
@@ -87,7 +96,55 @@ func NewRegionServer(name string, cfg ServerConfig, nn *hdfs.Namenode) (*RegionS
 	}
 	s.compactor = newCompactorPool(cfg.Compaction, s)
 	s.replicator = newReplicator(cfg, s.compactor)
+	if cfg.DataDir != "" {
+		w, err := durable.OpenWAL(serverWALDir(cfg.DataDir, name), s.walOptionsLocked())
+		if err != nil {
+			if s.compactor != nil {
+				s.compactor.Close()
+			}
+			if s.replicator != nil {
+				s.replicator.Close()
+			}
+			nn.RemoveDatanode(name)
+			return nil, fmt.Errorf("hbase: open server wal for %s: %w", name, err)
+		}
+		s.wal = w
+	}
 	return s, nil
+}
+
+// serverWALDir is the shared log's directory: keyed by server — unlike
+// region directories — because the log IS the server's (one fsync
+// stream for all its regions). RecoverServer reclaims it when the
+// server dies; a cold start reopens it and replays the unflushed tail.
+func serverWALDir(dataDir, server string) string {
+	return filepath.Join(dataDir, "wal", url.PathEscape(server))
+}
+
+// ServerWALDir exposes the shared-log directory mapping for tooling:
+// the metbench failover gate renames a killed server's WAL directory
+// aside along with its region directories, proving the recovered tail
+// comes from the shipped replica copies, not the dead server's disk.
+func ServerWALDir(dataDir, server string) string {
+	return serverWALDir(dataDir, server)
+}
+
+// walOptionsLocked derives the shared log's options from the server's
+// current pool and replicator. Called while constructing s or holding
+// mu. The OnSynced hook runs off the log's locks after each successful
+// fsync round; it nudges the replicator so freshly durable tail records
+// ship promptly instead of waiting for the next flush.
+func (s *RegionServer) walOptionsLocked() durable.Options {
+	opts := durable.Options{KeepTail: s.replicator != nil}
+	if s.compactor != nil {
+		opts.Account = s.compactor.Budget().NoteForeground
+	}
+	opts.OnSynced = func(regions []string) {
+		for _, rn := range regions {
+			s.notifyReplication(rn)
+		}
+	}
+	return opts
 }
 
 // newReplicator builds the server's SSTable shipper; nil without a data
@@ -198,7 +255,16 @@ func RegionDataDir(dataDir, regionName string) string {
 // a failed CreateTable's unwind, a failed split's half-created
 // daughters, and a committed split's superseded parent.
 func discardRegionStore(rs *RegionServer, r *Region) {
-	r.Store().Close()
+	st := r.Store()
+	h, _ := st.WAL().(*durable.RegionLog)
+	st.Close()
+	if h != nil {
+		// A durable drop marker voids the region's records in its shared
+		// log: without it, a log segment the abandoned region pinned
+		// would replay those records into any future region re-minted
+		// under the same name.
+		_ = h.Owner().Drop(h.Name())
+	}
 	if dd := rs.Config().DataDir; dd != "" {
 		_ = os.RemoveAll(regionDataDir(dd, r.Name()))
 	}
@@ -243,6 +309,13 @@ func (s *RegionServer) storeConfigFor(regionName string, numRegions int) kv.Conf
 		opts.Account = s.compactor.Budget().NoteForeground
 	}
 	if s.cfg.DataDir != "" {
+		if s.wal != nil {
+			// One log per server: the store appends through a
+			// region-scoped handle on the shared WAL instead of opening a
+			// private log in its region directory.
+			cfg.WAL = s.wal.Region(regionName)
+			opts.ExternalWAL = true
+		}
 		cfg.OpenBackend = durable.Opener(regionDataDir(s.cfg.DataDir, regionName), opts)
 	}
 	return cfg
@@ -272,6 +345,7 @@ func (s *RegionServer) OpenRegion(r *Region) {
 	// The store (and its engine file IDs) travels with the region, so
 	// existing mirror bookkeeping stays valid.
 	r.resetMirror(r.Store(), true)
+	s.adoptWAL(r)
 	s.rewireStore(r.Store())
 	s.trackReplication(r)
 	s.mu.Lock()
@@ -283,6 +357,30 @@ func (s *RegionServer) OpenRegion(r *Region) {
 	s.notifyReplication(r.Name())
 }
 
+// adoptWAL re-homes a moved region's logging onto this server's shared
+// WAL. A store arriving from another server (MoveRegion, a
+// decommission drain) is still wired to that server's log; left alone
+// it would keep appending into — and its flushes truncating — a log
+// whose lifetime it no longer shares. SwitchWAL flushes the memstore
+// first, so every record the old log held for this store is durable in
+// an SSTable (and truncated away there) before appends land here.
+func (s *RegionServer) adoptWAL(r *Region) {
+	s.mu.RLock()
+	w := s.wal
+	s.mu.RUnlock()
+	if w == nil {
+		return
+	}
+	st := r.Store()
+	h, ok := st.WAL().(*durable.RegionLog)
+	if !ok || h.Owner() == w {
+		// Already ours, or an in-memory store with its private
+		// simulation log — only stores on a shared log move between them.
+		return
+	}
+	_ = st.SwitchWAL(w.Region(r.Name()))
+}
+
 // trackReplication registers a region with this server's replicator.
 // The closures read the region's current store and follower set on
 // every reconciliation, so restarts (store swaps) and follower re-picks
@@ -291,12 +389,21 @@ func (s *RegionServer) trackReplication(r *Region) {
 	s.mu.RLock()
 	rep := s.replicator
 	dataDir := s.cfg.DataDir
+	w := s.wal
 	s.mu.RUnlock()
 	if rep == nil {
 		// Re-homed onto a server without replication: drop the previous
 		// host's hook so flushes stop poking its replicator.
 		r.Store().SetFilesChanged(nil)
 		return
+	}
+	var tail func() []kv.Entry
+	if w != nil {
+		// Tail streaming: each reconciliation ships the region's
+		// durable-but-unflushed records alongside its SSTables, so a
+		// failover loses at most the unsynced in-flight window.
+		name := r.Name()
+		tail = func() []kv.Entry { return w.SyncedTail(name) }
 	}
 	rep.Track(r.Name(),
 		func() ([]kv.ExportedFile, bool) { return r.Store().ExportFiles() },
@@ -307,7 +414,8 @@ func (s *RegionServer) trackReplication(r *Region) {
 				dests = append(dests, replicaDir(dataDir, f, r.Name()))
 			}
 			return dests
-		})
+		},
+		tail)
 	r.Store().SetFilesChanged(func() { s.notifyReplication(r.Name()) })
 }
 
@@ -323,15 +431,64 @@ func (s *RegionServer) notifyReplication(region string) {
 }
 
 // QuiesceReplication blocks until the replicator has shipped every
-// pending notification — the barrier between "cleanly flushed" and
-// "safe to lose the primary".
+// pending notification — the barrier between "acknowledged" and "safe
+// to lose the primary". With a shared WAL every hosted region is
+// re-notified first: OnSynced fires only on commit rounds, so a tail
+// whose last record was synced before the previous reconciliation (or
+// carried across a segment rotation) has no later round to announce it,
+// and the explicit nudge is what makes the barrier cover it.
 func (s *RegionServer) QuiesceReplication() {
 	s.mu.RLock()
 	rep := s.replicator
-	s.mu.RUnlock()
-	if rep != nil {
-		rep.Quiesce()
+	w := s.wal
+	regions := make([]string, 0, len(s.regions))
+	for name := range s.regions {
+		regions = append(regions, name)
 	}
+	s.mu.RUnlock()
+	if rep == nil {
+		return
+	}
+	if w != nil {
+		for _, name := range regions {
+			rep.Notify(name)
+		}
+	}
+	rep.Quiesce()
+}
+
+// WALStats is a snapshot of the server's shared write-ahead log: how
+// many records were appended, how many fsync rounds committed them
+// (group commit keeps rounds sub-linear in appends across any number
+// of regions), the physical log bytes, and the live segment count.
+type WALStats struct {
+	Appends    int64
+	SyncRounds int64
+	Bytes      int64
+	Segments   int
+}
+
+// WALStats snapshots the shared log (zero value without one).
+func (s *RegionServer) WALStats() WALStats {
+	s.mu.RLock()
+	w := s.wal
+	s.mu.RUnlock()
+	if w == nil {
+		return WALStats{}
+	}
+	return WALStats{
+		Appends:    w.Appends(),
+		SyncRounds: w.SyncRounds(),
+		Bytes:      w.BytesAppended(),
+		Segments:   w.SegmentCount(),
+	}
+}
+
+// SharedWAL exposes the server's shared log (tests; nil without one).
+func (s *RegionServer) SharedWAL() *durable.WAL {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal
 }
 
 // ReplicationStats snapshots the server's SSTable shipper (zero value
@@ -615,12 +772,20 @@ func (s *RegionServer) Shutdown() {
 	s.compactor = nil
 	rep := s.replicator
 	s.replicator = nil
+	w := s.wal
+	s.wal = nil
 	s.mu.Unlock()
 	if pool != nil {
 		pool.Close()
 	}
 	if rep != nil {
 		rep.Close()
+	}
+	if w != nil {
+		// Release the file handle so a cold start (or a recovery sweep)
+		// owns the directory. The final fsync cannot un-lose anything: a
+		// record was acknowledged only after its own commit round.
+		_ = w.Close()
 	}
 }
 
@@ -667,6 +832,31 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 		// swap (or a backend change) rebuilds it too.
 		s.replicator = newReplicator(cfg, s.compactor)
 	}
+	var oldWAL *durable.WAL
+	var walErr error
+	if cfg.DataDir != oldDataDir {
+		// A backend change relocates the shared log; the old one stays
+		// open until every store has reopened off it (their final
+		// flushes truncate through the old handles).
+		oldWAL = s.wal
+		s.wal = nil
+		if cfg.DataDir != "" {
+			w, err := durable.OpenWAL(serverWALDir(cfg.DataDir, s.name), s.walOptionsLocked())
+			if err != nil {
+				walErr = fmt.Errorf("hbase: restart %s: reopen server wal: %w", s.name, err)
+			} else {
+				s.wal = w
+			}
+		}
+	} else if s.wal != nil && cfg.Compaction != oldCompaction {
+		// Same log, new pool: the WAL's foreground bytes charge the
+		// fresh budget from the next append on.
+		var account func(int)
+		if s.compactor != nil {
+			account = s.compactor.Budget().NoteForeground
+		}
+		s.wal.SetAccount(account)
+	}
 	regions := make([]*Region, 0, len(s.regions))
 	for _, r := range s.regions {
 		regions = append(regions, r)
@@ -682,6 +872,9 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 
 	sort.Slice(regions, func(i, j int) bool { return regions[i].Name() < regions[j].Name() })
 	var errs []error
+	if walErr != nil {
+		errs = append(errs, walErr)
+	}
 	for _, r := range regions {
 		// A region moved away while we were down is the new host's to
 		// reopen, not ours.
@@ -709,6 +902,9 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 		// the region, or post-restart flushes would never replicate.
 		s.trackReplication(r)
 		s.notifyReplication(r.Name())
+	}
+	if oldWAL != nil {
+		_ = oldWAL.Close()
 	}
 	s.mu.Lock()
 	s.restarts++

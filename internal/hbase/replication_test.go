@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"met/internal/durable"
 	"met/internal/replication"
 )
 
@@ -24,10 +25,10 @@ func flushAll(t *testing.T, m *Master) {
 	}
 }
 
-// quarantineServerDirs renames every primary region directory of the
-// given (dead) server out of the way, simulating the loss of its local
-// disk: recovery that still succeeds provably used the replica copies
-// alone.
+// quarantineServerDirs renames every primary region directory — and the
+// server's shared WAL directory — of the given (dead) server out of the
+// way, simulating the loss of its local disk: recovery that still
+// succeeds provably used the replica copies (and shipped tail) alone.
 func quarantineServerDirs(t *testing.T, rs *RegionServer) {
 	t.Helper()
 	dd := rs.Config().DataDir
@@ -35,6 +36,29 @@ func quarantineServerDirs(t *testing.T, rs *RegionServer) {
 		dir := regionDataDir(dd, r.Name())
 		if _, err := os.Stat(dir); err == nil {
 			if err := os.Rename(dir, dir+".quarantine"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wd := serverWALDir(dd, rs.Name())
+	if _, err := os.Stat(wd); err == nil {
+		if err := os.Rename(wd, wd+".quarantine"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// dropShippedTails deletes the shipped WAL tail file from every replica
+// directory of the dead server's regions, simulating followers that
+// never received a tail frame: recovery then measures loss from the
+// replica SSTables alone — the pre-tail-streaming accounting.
+func dropShippedTails(t *testing.T, rs *RegionServer) {
+	t.Helper()
+	dd := rs.Config().DataDir
+	for _, r := range rs.Regions() {
+		for _, f := range r.Followers() {
+			p := durable.TailFilePath(replicaDir(dd, f, r.Name()))
+			if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
 				t.Fatal(err)
 			}
 		}
@@ -147,10 +171,12 @@ func TestFailoverRecoversFromReplicasAlone(t *testing.T) {
 	}
 }
 
-// TestFailoverLossAccounting kills a server with a non-empty memstore:
-// RecoverServer must report exactly the acknowledged-but-unreplicated
-// writes as lost, every replicated row must be readable, and the lost
-// rows must be absent (not silently resurrected from the dead disk).
+// TestFailoverLossAccounting kills a server with a non-empty memstore
+// AND deletes the shipped tails, so recovery sees replica SSTables
+// alone: RecoverServer must report exactly the
+// acknowledged-but-unreplicated writes as lost, every replicated row
+// must be readable, and the lost rows must be absent (not silently
+// resurrected from the dead disk).
 func TestFailoverLossAccounting(t *testing.T) {
 	dir := t.TempDir()
 	m, c := newCatalogCluster(t, 3, dir, durableConfig(dir))
@@ -183,6 +209,7 @@ func TestFailoverLossAccounting(t *testing.T) {
 	}
 	victim.Shutdown()
 	quarantineServerDirs(t, victim)
+	dropShippedTails(t, victim)
 
 	report, err := m.RecoverServer(victim.Name())
 	if err != nil {
@@ -206,8 +233,9 @@ func TestFailoverLossAccounting(t *testing.T) {
 }
 
 // TestFailoverZeroLossRequiresCleanFlush is the contrapositive check on
-// the accounting: without the clean flush, the loss is the memstore and
-// must be reported as non-zero.
+// the accounting: without the shipped tail (deleted here) and without a
+// clean flush, the loss is the memstore and must be reported as
+// non-zero.
 func TestFailoverZeroLossRequiresCleanFlush(t *testing.T) {
 	dir := t.TempDir()
 	m, c := newCatalogCluster(t, 2, dir, durableConfig(dir))
@@ -226,12 +254,153 @@ func TestFailoverZeroLossRequiresCleanFlush(t *testing.T) {
 	victim, _ := m.Server(host)
 	victim.Shutdown()
 	quarantineServerDirs(t, victim)
+	dropShippedTails(t, victim)
 	report, err := m.RecoverServer(victim.Name())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if report.LostWrites != 40 {
 		t.Fatalf("unflushed kill reported %d lost, want 40", report.LostWrites)
+	}
+}
+
+// TestFailoverTailStreamingZeroLossHotMemstore is the tentpole's
+// acceptance criterion: a server hard-killed with a deliberately
+// unflushed memstore loses NOTHING, because every acknowledged write's
+// commit fsync made it into the shared WAL's tail and the replicator
+// shipped that tail to the followers before the kill (the quiesce is
+// the barrier). Recovery replays the shipped tail over the replica
+// SSTables; the dead server's own directories — regions AND WAL — are
+// quarantined first, so the recovered rows provably came from the
+// followers' copies.
+func TestFailoverTailStreamingZeroLossHotMemstore(t *testing.T) {
+	dir := t.TempDir()
+	m, c := newCatalogCluster(t, 3, dir, durableConfig(dir))
+	t.Cleanup(m.HardStop)
+	if _, err := m.CreateTable("t", []string{"g", "p"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("%c%05d", 'a'+byte(i%26), i)
+		if err := c.Put("t", k, []byte("flushed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushAll(t, m)
+	m.QuiesceReplication()
+
+	victim, prefix := victimAndKeys(t, m, "t")
+	// Hot memstore: acknowledged writes routed to the victim's first
+	// region, deliberately never flushed. Their commit fsyncs put them
+	// in the shared WAL's synced tail; the quiesce ships that tail.
+	const hot = 33
+	var hotKeys []string
+	for i := 0; i < hot; i++ {
+		k := fmt.Sprintf("%s0hot%04d", prefix, i)
+		if err := c.Put("t", k, []byte("tail-streamed")); err != nil {
+			t.Fatal(err)
+		}
+		hotKeys = append(hotKeys, k)
+	}
+	m.QuiesceReplication()
+	victim.Shutdown()
+	quarantineServerDirs(t, victim)
+
+	report, err := m.RecoverServer(victim.Name())
+	if err != nil {
+		t.Fatalf("RecoverServer: %v", err)
+	}
+	if report.LostWrites != 0 {
+		t.Fatalf("hot-memstore failover lost %d writes, want 0 (report %+v)", report.LostWrites, report)
+	}
+	tailed := 0
+	for _, rec := range report.Regions {
+		tailed += rec.TailWrites
+	}
+	if tailed < hot {
+		t.Fatalf("tail replay covered %d writes, want at least the %d unflushed ones", tailed, hot)
+	}
+	for _, k := range hotKeys {
+		v, err := c.Get("t", k)
+		if err != nil || string(v) != "tail-streamed" {
+			t.Fatalf("unflushed acknowledged row %s lost: %q, %v", k, v, err)
+		}
+	}
+	// The recovered layout (tail rows included) survives a cold start.
+	m.HardStop()
+	m2, err := OpenCluster(dir)
+	if err != nil {
+		t.Fatalf("cold start after tail-streamed failover: %v", err)
+	}
+	t.Cleanup(m2.HardStop)
+	c2 := NewClient(m2)
+	for _, k := range hotKeys {
+		v, err := c2.Get("t", k)
+		if err != nil || string(v) != "tail-streamed" {
+			t.Fatalf("tail-streamed row %s lost across cold start: %q, %v", k, v, err)
+		}
+	}
+}
+
+// TestFailoverTornShippedTail corrupts a shipped tail mid-frame: the
+// replay must apply the intact prefix, report the tear, and recovery
+// must still complete with the loss bounded by the torn suffix.
+func TestFailoverTornShippedTail(t *testing.T) {
+	dir := t.TempDir()
+	m, c := newCatalogCluster(t, 2, dir, durableConfig(dir))
+	t.Cleanup(m.HardStop)
+	if _, err := m.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if err := c.Put("t", fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No flush: everything lives in the tail. Ship it, then tear the
+	// shipped copy by appending a frame header that promises more
+	// payload than follows (a torn write on the follower's disk).
+	m.QuiesceReplication()
+	tbl, _ := m.Table("t")
+	r := tbl.Regions()[0]
+	host, _ := m.HostOf(r.Name())
+	victim, _ := m.Server(host)
+	torn := 0
+	for _, f := range r.Followers() {
+		p := durable.TailFilePath(replicaDir(dir, f, r.Name()))
+		if _, err := os.Stat(p); err != nil {
+			continue
+		}
+		fh, err := os.OpenFile(p, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fh.Write([]byte{200, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 9}); err != nil {
+			t.Fatal(err)
+		}
+		fh.Close()
+		torn++
+	}
+	if torn == 0 {
+		t.Fatal("no shipped tail found to tear — tail streaming never ran")
+	}
+	victim.Shutdown()
+	quarantineServerDirs(t, victim)
+	report, err := m.RecoverServer(victim.Name())
+	if err != nil {
+		t.Fatalf("RecoverServer over torn tail: %v", err)
+	}
+	if report.LostWrites != 0 {
+		t.Fatalf("torn trailing frame lost %d writes, want 0 (intact prefix holds all 25)", report.LostWrites)
+	}
+	if len(report.Regions) != 1 || !report.Regions[0].TailTorn {
+		t.Fatalf("tear not reported: %+v", report.Regions)
+	}
+	for i := 0; i < 25; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		if v, err := c.Get("t", k); err != nil || string(v) != "v" {
+			t.Fatalf("row %s lost under torn tail: %q, %v", k, v, err)
+		}
 	}
 }
 
@@ -314,6 +483,73 @@ func TestFailoverCrashPoints(t *testing.T) {
 		verify(t, m2)
 		if _, err := m2.Server(victim.Name()); !errors.Is(err, ErrUnknownServer) {
 			t.Fatalf("server survived completed recovery: %v", err)
+		}
+	})
+
+	// Crash between the tail replay and the table-row commit (the
+	// fault-injection harness's simulated kill): the replayed tail is
+	// durable in the destination's shared WAL but uncommitted. A cold
+	// start revives the dead member — whose own WAL replay still holds
+	// the unflushed writes — and a re-run recovery replays the shipped
+	// tail again, idempotently.
+	t.Run("mid-tail-replay", func(t *testing.T) {
+		dir := t.TempDir()
+		m, c := newCatalogCluster(t, 3, dir, durableConfig(dir))
+		t.Cleanup(m.HardStop)
+		if _, err := m.CreateTable("t", []string{"g", "p"}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			if err := c.Put("t", fmt.Sprintf("%c%05d", 'a'+byte(i%26), i), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		flushAll(t, m)
+		m.QuiesceReplication()
+		victim, prefix := victimAndKeys(t, m, "t")
+		var hotKeys []string
+		for i := 0; i < 20; i++ {
+			k := fmt.Sprintf("%s0hot%04d", prefix, i)
+			if err := c.Put("t", k, []byte("tail")); err != nil {
+				t.Fatal(err)
+			}
+			hotKeys = append(hotKeys, k)
+		}
+		m.QuiesceReplication()
+		victim.Shutdown()
+		crashAt(t, m, "recoverserver.tail-replayed", func() { m.RecoverServer(victim.Name()) })
+		m.HardStop()
+		m2, err := OpenCluster(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(m2.HardStop)
+		c2 := NewClient(m2)
+		// The revived member's shared WAL replay restored the hot rows.
+		for _, k := range hotKeys {
+			if v, err := c2.Get("t", k); err != nil || string(v) != "tail" {
+				t.Fatalf("hot row %s lost across crashed recovery + cold start: %q, %v", k, v, err)
+			}
+		}
+		// Re-run the failover to completion: the tail replays again onto
+		// a fresh generation, with zero loss and no duplication.
+		rs, err := m2.Server(victim.Name())
+		if err != nil {
+			t.Fatalf("mid-recovery member vanished: %v", err)
+		}
+		rs.Shutdown()
+		quarantineServerDirs(t, rs)
+		report, err := m2.RecoverServer(victim.Name())
+		if err != nil {
+			t.Fatalf("re-run after mid-tail crash: %v", err)
+		}
+		if report.LostWrites != 0 {
+			t.Fatalf("re-run lost %d writes, want 0 (report %+v)", report.LostWrites, report)
+		}
+		for _, k := range hotKeys {
+			if v, err := c2.Get("t", k); err != nil || string(v) != "tail" {
+				t.Fatalf("hot row %s lost after re-run recovery: %q, %v", k, v, err)
+			}
 		}
 	})
 

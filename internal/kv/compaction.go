@@ -182,12 +182,16 @@ func (s *Store) compactFilesLocked(sel CompactionSelection) (CompactionResult, e
 	// charged to the background I/O budget up front, file by file.
 	budget := s.wiring.Load().budget
 	sources := make([]Iterator, 0, len(run))
+	var maxTSFloor uint64
 	for _, f := range run {
 		if budget != nil {
 			budget.WaitBackground(f.Bytes())
 		}
 		sources = append(sources, f.iterator(nil, nil))
 		res.BytesIn += int64(f.Bytes())
+		if f.MaxTimestamp() > maxTSFloor {
+			maxTSFloor = f.MaxTimestamp()
+		}
 	}
 	res.FilesIn = len(run)
 	it := newDedupIterator(newMergeIterator(sources), dropTombstones)
@@ -206,7 +210,7 @@ func (s *Store) compactFilesLocked(sel CompactionSelection) (CompactionResult, e
 	if budget != nil {
 		budget.WaitBackground(outBytes)
 	}
-	merged, err := s.createFile(nextFileID(), entries)
+	merged, err := s.createFileWithFloor(nextFileID(), entries, maxTSFloor)
 	if err != nil {
 		return res, fmt.Errorf("kv: compact write: %w", err)
 	}

@@ -51,6 +51,21 @@ type StorageBackend interface {
 	Close() error
 }
 
+// TimestampFloorCreator is an optional StorageBackend extension for
+// backends that persist a per-file max-timestamp property. Compactions
+// use it to pass the maximum timestamp of their input files: a merge
+// that drops the newest version of a key (a shadowed put, an elided
+// tombstone in a major compaction) must not regress the output file's
+// recorded clock, because a store seeded from that file alone (snapshot
+// restore, replica failover) resumes its logical clock from the
+// property — and a regressed clock breaks the dense-timestamp
+// accounting failover uses to count lost writes.
+type TimestampFloorCreator interface {
+	// CreateWithMaxTS is Create with the file's recorded max timestamp
+	// raised to at least maxTS.
+	CreateWithMaxTS(id uint64, entries []Entry, blockBytes int, maxTS uint64) (*StoreFile, error)
+}
+
 // Config holds the engine knobs the paper's node profiles tune.
 type Config struct {
 	// MemstoreFlushBytes is the memstore size at which a flush to an
@@ -339,7 +354,16 @@ func OpenStore(cfg Config) (*Store, error) {
 			backend.Close()
 			return nil, fmt.Errorf("kv: wal replay: %w", err)
 		}
+		// Records at or below the file stack's clock are already durable
+		// in an SSTable. A private log never holds such records (flushes
+		// truncate it), but a shared server-wide log reclaims segments
+		// only when every region's flush mark passes them, so replay can
+		// surface records an earlier flush already persisted.
+		baseline := s.seq
 		for _, e := range entries {
+			if e.Timestamp <= baseline {
+				continue
+			}
 			s.mem.Add(e)
 			if e.Timestamp > s.seq {
 				s.seq = e.Timestamp
@@ -371,13 +395,46 @@ func replayWAL(w WAL) ([]Entry, error) {
 
 // Config returns the store's configuration. Note that the background-
 // compaction hooks (Compactor, CompactionBudget, HardMaxStoreFiles) may
-// have been rewired since the store was opened — see SetCompaction.
-func (s *Store) Config() Config { return s.cfg }
+// have been rewired since the store was opened — see SetCompaction —
+// and the WAL may have been swapped (SwitchWAL).
+func (s *Store) Config() Config {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cfg
+}
 
 // WAL exposes the store's write-ahead log (nil for stores that do not
 // log). Embedders that re-home a store use it to swap log-level
 // accounting hooks alongside SetCompaction.
-func (s *Store) WAL() WAL { return s.cfg.WAL }
+func (s *Store) WAL() WAL {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cfg.WAL
+}
+
+// SwitchWAL re-homes the store's logging onto a different write-ahead
+// log — the engine half of moving a region between servers when each
+// server owns one shared log. The memstore is flushed first (under the
+// write lock), so every record the old log held for this store becomes
+// durable in an SSTable and is truncated away; from the next mutation
+// on, records land in w. The old log is not closed — it belongs to its
+// server.
+func (s *Store) SwitchWAL(w WAL) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if err := s.flushLocked(); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("kv: switch wal flush: %w", err)
+	}
+	s.cfg.WAL = w
+	s.mu.Unlock()
+	s.maybeTriggerCompaction()
+	s.notifyFilesChanged()
+	return nil
+}
 
 // SetCompaction rewires the store's background-compaction plumbing to a
 // new scheduler, I/O budget and hard file ceiling — the engine half of
@@ -570,6 +627,68 @@ func (s *Store) ImportEntries(entries []Entry) error {
 	return nil
 }
 
+// ApplyReplayed applies recovered records from another store's log —
+// the replicated WAL tail a failover replays over replica SSTables.
+// Unlike ImportEntries it preserves the original timestamps (the
+// records were minted by the dead store's clock, and keeping them dense
+// keeps failover loss accounting exact); records at or below this
+// store's clock are already present and are skipped. Entries must be in
+// ascending timestamp order. It returns how many records were applied.
+func (s *Store) ApplyReplayed(entries []Entry) (int, error) {
+	s.mu.Lock()
+	if s.closed || s.sealed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	gw, _ := s.cfg.WAL.(GroupWAL)
+	var commit func() error
+	applied := 0
+	for _, e := range entries {
+		if e.Timestamp <= s.seq {
+			continue
+		}
+		ne := Entry{
+			Key:       e.Key,
+			Value:     append([]byte(nil), e.Value...),
+			Tombstone: e.Tombstone,
+			Timestamp: e.Timestamp,
+		}
+		if s.cfg.WAL != nil {
+			if gw != nil {
+				c, err := gw.AppendBuffered(ne)
+				if err != nil {
+					s.mu.Unlock()
+					return applied, fmt.Errorf("kv: wal append: %w", err)
+				}
+				commit = c
+			} else if err := s.cfg.WAL.Append(ne); err != nil {
+				s.mu.Unlock()
+				return applied, fmt.Errorf("kv: wal append: %w", err)
+			}
+		}
+		s.mem.Add(ne)
+		s.seq = ne.Timestamp
+		s.stats.userBytes.Add(int64(ne.Size()))
+		applied++
+	}
+	var flushErr error
+	if s.mem.Bytes() >= s.cfg.MemstoreFlushBytes {
+		flushErr = s.flushLocked()
+	}
+	s.mu.Unlock()
+	s.maybeTriggerCompaction()
+	s.notifyFilesChanged()
+	if commit != nil {
+		if err := commit(); err != nil {
+			return applied, fmt.Errorf("kv: wal sync: %w", err)
+		}
+	}
+	if flushErr != nil {
+		return applied, fmt.Errorf("kv: flush: %w", flushErr)
+	}
+	return applied, nil
+}
+
 // Get returns the newest live value for key, or ErrNotFound. Gets run
 // concurrently with each other and with Scans; they only exclude
 // writers.
@@ -703,10 +822,34 @@ func (s *Store) flushLocked() error {
 
 // createFile persists sorted entries through the backend (or in memory).
 func (s *Store) createFile(id uint64, entries []Entry) (*StoreFile, error) {
+	return s.createFileWithFloor(id, entries, 0)
+}
+
+// createFileWithFloor is createFile with the file's recorded max
+// timestamp raised to at least maxTSFloor — compactions pass the
+// maximum of their inputs so dropping a newest-version entry cannot
+// regress the output's clock (see TimestampFloorCreator). Backends
+// without the extension get an in-memory clamp, which preserves the
+// clock for the life of this process.
+func (s *Store) createFileWithFloor(id uint64, entries []Entry, maxTSFloor uint64) (*StoreFile, error) {
+	var f *StoreFile
+	var err error
 	if s.backend != nil {
-		return s.backend.Create(id, entries, s.cfg.BlockBytes)
+		if fc, ok := s.backend.(TimestampFloorCreator); ok && maxTSFloor > 0 {
+			f, err = fc.CreateWithMaxTS(id, entries, s.cfg.BlockBytes, maxTSFloor)
+		} else {
+			f, err = s.backend.Create(id, entries, s.cfg.BlockBytes)
+		}
+	} else {
+		f = BuildStoreFile(id, entries, s.cfg.BlockBytes)
 	}
-	return BuildStoreFile(id, entries, s.cfg.BlockBytes), nil
+	if err != nil {
+		return nil, err
+	}
+	if f.meta.MaxTS < maxTSFloor {
+		f.meta.MaxTS = maxTSFloor
+	}
+	return f, nil
 }
 
 // Compact merges every store file (and nothing from the memstore) into a
@@ -744,9 +887,13 @@ func (s *Store) compactLocked(major bool) error {
 	}
 	sources := make([]Iterator, 0, len(s.files))
 	var inBytes int
+	var maxTSFloor uint64
 	for _, f := range s.files {
 		sources = append(sources, f.iterator(nil, nil))
 		inBytes += f.Bytes()
+		if f.MaxTimestamp() > maxTSFloor {
+			maxTSFloor = f.MaxTimestamp()
+		}
 	}
 	it := newDedupIterator(newMergeIterator(sources), major)
 	var entries []Entry
@@ -758,7 +905,7 @@ func (s *Store) compactLocked(major bool) error {
 			return fmt.Errorf("kv: compact read: %w", err)
 		}
 	}
-	merged, err := s.createFile(nextFileID(), entries)
+	merged, err := s.createFileWithFloor(nextFileID(), entries, maxTSFloor)
 	if err != nil {
 		return fmt.Errorf("kv: compact write: %w", err)
 	}

@@ -60,6 +60,13 @@ type EngineStats struct {
 	// ReplicationBytesShipped is cumulative SSTable bytes copied to
 	// follower replica directories.
 	ReplicationBytesShipped int64
+	// WALAppends and WALSyncRounds are cumulative records appended to
+	// and successful fsync rounds on the node's shared write-ahead log.
+	// Their ratio is achieved group-commit batching: all hosted regions
+	// share one fsync stream, so appends/round grows with concurrent
+	// write pressure instead of degrading with region count.
+	WALAppends    int64
+	WALSyncRounds int64
 }
 
 // NodeObservation is one monitoring sample for one node.

@@ -27,13 +27,21 @@
 // and recorded per region in the META catalog's table rows, which is
 // how a cold start — and Master.RecoverServer — rediscovers placement.
 //
-// Because the replica holds only SSTables, the loss window on a server
-// kill is exactly the primary's unflushed memstore (plus any flush the
-// worker had not shipped yet). Recovery reports that loss precisely —
-// store timestamps are minted densely, one per mutation, so
-// (dead clock − replica clock) counts the missing writes — and never
-// hides it. Streaming the WAL tail to followers would shrink the
-// window to near zero; that is deliberate follow-on work.
+// # Tail streaming
+//
+// SSTables alone leave a loss window on a server kill: the primary's
+// unflushed memstore. Each reconciliation therefore also ships the
+// region's synced WAL tail — its durable-but-unflushed records, taken
+// from the server's shared log (durable.WAL.SyncedTail) — as one
+// atomically-replaced wal-tail.log frame file per replica directory. A
+// flush empties the tail (the records moved into a shipped SSTable) and
+// the next reconcile removes the file. Master.RecoverServer replays the
+// shipped tail over the replica SSTables, so the loss window shrinks to
+// the records no fsync covered plus shipping lag — 0 after a Quiesce.
+// The tail is snapshotted before the file stack: a flush racing the
+// reconcile can then only duplicate records between the tail file and a
+// shipped SSTable (replay dedups by timestamp), never drop them from
+// both.
 //
 // # Recovery ordering
 //
@@ -41,10 +49,12 @@
 // visible file is a complete, fsynced copy of an immutable SSTable, and
 // a directory holding both a compaction's inputs and its output is the
 // exact state the engine itself tolerates after a crash mid-compaction
-// (duplicate entries dedup at read time). Reopening a store over a
-// seeded directory therefore needs no replication-specific recovery
-// code — Master.RecoverServer copies the replica's SSTables into a
-// fresh region directory and opens it like any other cold store, then
+// (duplicate entries dedup at read time); the tail file is replaced
+// atomically and CRC-framed, so a torn ship truncates to the last good
+// record. Reopening a store over a seeded directory therefore needs no
+// replication-specific recovery code — Master.RecoverServer copies the
+// replica's SSTables into a fresh region directory, opens it like any
+// other cold store, replays the tail file through the engine, then
 // commits the new layout through the catalog (see hbase.RecoverServer
 // for the commit ordering).
 package replication
@@ -74,13 +84,14 @@ type Config struct {
 }
 
 // target is one tracked region: how to snapshot its primary file stack
-// and where its replicas live. Both are closures so the replicator
-// always sees the region's *current* store and follower set — a server
-// restart swaps the store, a follower re-pick changes the destinations,
-// and neither needs to re-register.
+// and synced WAL tail, and where its replicas live. All are closures so
+// the replicator always sees the region's *current* store and follower
+// set — a server restart swaps the store, a follower re-pick changes
+// the destinations, and none needs to re-register.
 type target struct {
 	files func() ([]kv.ExportedFile, bool)
 	dests func() []string
+	tail  func() []kv.Entry
 }
 
 // Replicator ships immutable SSTables to follower replica directories,
@@ -104,6 +115,9 @@ type Replicator struct {
 	filesRetired atomic.Int64
 	failures     atomic.Int64
 	syncs        atomic.Int64
+	tailShips    atomic.Int64
+	tailBytes    atomic.Int64
+	tailFrames   atomic.Int64
 }
 
 // New starts a replicator with cfg.Workers background workers.
@@ -127,15 +141,18 @@ func New(cfg Config) *Replicator {
 // Track registers a region for replication. files snapshots the
 // region's current primary SSTable stack (kv.Store.ExportFiles of
 // whatever store currently backs it); dests returns the absolute
-// replica directories to keep in sync (one per follower). Tracking is
-// idempotent by region name; re-tracking replaces the closures.
-func (r *Replicator) Track(region string, files func() ([]kv.ExportedFile, bool), dests func() []string) {
+// replica directories to keep in sync (one per follower); tail, when
+// non-nil, snapshots the region's synced-but-unflushed WAL records
+// (durable.WAL.SyncedTail) for tail streaming — nil disables it (no
+// shared log, or an in-memory store). Tracking is idempotent by region
+// name; re-tracking replaces the closures.
+func (r *Replicator) Track(region string, files func() ([]kv.ExportedFile, bool), dests func() []string, tail func() []kv.Entry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
 		return
 	}
-	r.targets[region] = &target{files: files, dests: dests}
+	r.targets[region] = &target{files: files, dests: dests, tail: tail}
 }
 
 // Untrack stops replicating a region (it moved away or was retired).
@@ -229,8 +246,14 @@ func (r *Replicator) worker() {
 // the primary stack. A primary file unlinked between the snapshot and
 // the copy (a racing compaction) is skipped: the compaction latched a
 // fresh notification, so the region re-reconciles against the
-// post-compaction stack.
+// post-compaction stack. The tail is snapshotted before the stack so a
+// racing flush duplicates records between the two (replay dedups)
+// rather than dropping them from both.
 func (r *Replicator) sync(t *target) error {
+	var tail []kv.Entry
+	if t.tail != nil {
+		tail = t.tail()
+	}
 	files, ok := t.files()
 	if !ok {
 		return nil // in-memory backend: nothing shippable
@@ -239,6 +262,24 @@ func (r *Replicator) sync(t *target) error {
 	for _, dir := range t.dests() {
 		if err := r.syncDir(dir, files); err != nil && firstErr == nil {
 			firstErr = err
+		}
+		if t.tail == nil {
+			continue
+		}
+		n, err := durable.WriteTailFile(durable.TailFilePath(dir), tail, false)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if n > 0 {
+			if r.cfg.Budget != nil {
+				r.cfg.Budget.WaitBackground(int(n))
+			}
+			r.tailShips.Add(1)
+			r.tailBytes.Add(n)
+			r.tailFrames.Add(int64(len(tail)))
 		}
 	}
 	return firstErr
@@ -421,6 +462,12 @@ type Stats struct {
 	// hit an I/O error (the next notification retries).
 	Syncs    int64
 	Failures int64
+	// TailShips / TailBytes / TailFrames count WAL-tail files written to
+	// replica directories, their physical bytes, and the records they
+	// carried (empty tails remove the file and count nothing).
+	TailShips  int64
+	TailBytes  int64
+	TailFrames int64
 }
 
 // Add returns the element-wise sum of two snapshots (cluster roll-up).
@@ -433,6 +480,9 @@ func (s Stats) Add(o Stats) Stats {
 		FilesRetired: s.FilesRetired + o.FilesRetired,
 		Syncs:        s.Syncs + o.Syncs,
 		Failures:     s.Failures + o.Failures,
+		TailShips:    s.TailShips + o.TailShips,
+		TailBytes:    s.TailBytes + o.TailBytes,
+		TailFrames:   s.TailFrames + o.TailFrames,
 	}
 }
 
@@ -449,5 +499,8 @@ func (r *Replicator) Stats() Stats {
 		FilesRetired: r.filesRetired.Load(),
 		Syncs:        r.syncs.Load(),
 		Failures:     r.failures.Load(),
+		TailShips:    r.tailShips.Load(),
+		TailBytes:    r.tailBytes.Load(),
+		TailFrames:   r.tailFrames.Load(),
 	}
 }

@@ -41,7 +41,7 @@ func fill(t *testing.T, s *kv.Store, lo, hi int) {
 
 // track wires a store to a replicator under one region name and dest.
 func track(r *Replicator, s *kv.Store, region string, dests ...string) {
-	r.Track(region, s.ExportFiles, func() []string { return dests })
+	r.Track(region, s.ExportFiles, func() []string { return dests }, nil)
 	s.SetFilesChanged(func() { r.Notify(region) })
 }
 

@@ -190,6 +190,19 @@ func (f *FlakyBackend) Create(id uint64, entries []kv.Entry, blockBytes int) (*k
 	return f.Inner.Create(id, entries, blockBytes)
 }
 
+// CreateWithMaxTS implements kv.TimestampFloorCreator when the inner
+// backend does, sharing the create injection point; otherwise the floor
+// is dropped and the engine falls back to its in-memory clamp.
+func (f *FlakyBackend) CreateWithMaxTS(id uint64, entries []kv.Entry, blockBytes int, maxTS uint64) (*kv.StoreFile, error) {
+	if err := f.Inj.Err(f.point("create")); err != nil {
+		return nil, err
+	}
+	if fc, ok := f.Inner.(kv.TimestampFloorCreator); ok {
+		return fc.CreateWithMaxTS(id, entries, blockBytes, maxTS)
+	}
+	return f.Inner.Create(id, entries, blockBytes)
+}
+
 // Remove implements kv.StorageBackend with remove-point injection.
 func (f *FlakyBackend) Remove(id uint64) error {
 	if err := f.Inj.Err(f.point("remove")); err != nil {
