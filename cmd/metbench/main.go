@@ -31,12 +31,14 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"met"
 	"met/internal/compaction"
 	"met/internal/hbase"
 	"met/internal/kv"
+	"met/internal/obs"
 	"met/internal/replication"
 	"met/internal/sim"
 	"met/internal/tpcc"
@@ -65,9 +67,19 @@ type result struct {
 	Transient   int64              `json:"transient,omitempty"`
 	PerOp       map[string]int64   `json:"per_op,omitempty"`
 	PerOpNs     map[string]float64 `json:"per_op_ns,omitempty"`
-	Engine      *engineState       `json:"engine,omitempty"`
-	Compaction  *compactionState   `json:"compaction,omitempty"`
-	Replication *replicationState  `json:"replication,omitempty"`
+	// Latency carries the cluster-side latency distributions (merged
+	// over all servers): serving classes (get/put/scan) plus every
+	// engine-side duration (fsync, flush, compaction, replication_ship,
+	// tail_ship). Percentiles are in nanoseconds, bucketed to <=12.5%
+	// relative error; counts and means are exact.
+	Latency map[string]obs.LatencySummary `json:"latency,omitempty"`
+	// ClientLatency is the client-observed per-op distribution from the
+	// parallel runner's worker shards (includes routing and retries).
+	ClientLatency map[string]obs.LatencySummary `json:"client_latency,omitempty"`
+	SlowOps       int64                         `json:"slow_ops,omitempty"`
+	Engine        *engineState                  `json:"engine,omitempty"`
+	Compaction    *compactionState              `json:"compaction,omitempty"`
+	Replication   *replicationState             `json:"replication,omitempty"`
 	// LostWrites is the failover scenario's reported data loss after the
 	// clean-flush kill; LostWritesUnflushed after the hot-memstore kill
 	// (bounded by the unsynced tail — zero after a quiesce).
@@ -225,9 +237,25 @@ func main() {
 	compactPolicy := flag.String("compact-policy", "", "background compaction policy: tiered or leveled (default tiered)")
 	compactBudget := flag.Int64("compact-budget-mb", 0, "background compaction I/O budget in MB/s shared with serving (0 = unlimited)")
 	compactWorkers := flag.Int("compact-workers", 0, "compactor pool workers per server (0 = default 1, negative disables background compaction)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
+	slowlog := flag.Duration("slowlog", 0, "arm slow-op tracing: ops at least this slow are kept with per-stage spans (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "serve the HTTP debug plane (/metrics, /healthz, /debug/pprof) on this address for the run's duration")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := hbase.DefaultServerConfig()
+	cfg.SlowOpThreshold = *slowlog
 	cfg.DataDir = *durableDir
 	cfg.Compaction = hbase.CompactionConfig{
 		MaxStoreFiles:     *maxFiles,
@@ -280,6 +308,14 @@ func main() {
 		Workload: *workload, Sustained: *sustained, Ops: *ops, Records: *records,
 		Servers: *servers, Concurrency: *concurrency, Durable: *durableDir != "",
 		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+	}
+	if *debugAddr != "" {
+		srv, err := cluster.ServeDebug(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug plane on http://%s/metrics\n", srv.Addr())
 	}
 	start := time.Now()
 	switch *workload {
@@ -343,6 +379,28 @@ func main() {
 		fmt.Printf("wal totals: appends=%d sync-rounds=%d writes/fsync=%.2f (%dKB, %d segments)\n",
 			wal.Appends, wal.SyncRounds, wal.WritesPerFsync, wal.Bytes>>10, wal.Segments)
 	}
+	res.Latency = clusterLatency(cluster.Master.Servers())
+	printLatencyTable(res.Latency)
+	if *slowlog > 0 {
+		slow := cluster.Master.SlowOps()
+		var total int64
+		for _, rs := range cluster.Master.Servers() {
+			total += rs.SlowOpsTotal()
+		}
+		res.SlowOps = total
+		fmt.Printf("slow ops (>= %v): %d total, %d retained\n", *slowlog, total, len(slow))
+		show := slow
+		if len(show) > 10 {
+			show = show[len(show)-10:]
+		}
+		for _, op := range show {
+			fmt.Printf("  %-6s %s/%s %v", op.Op, op.Table, op.Key, op.Total.Round(time.Microsecond))
+			for _, sp := range op.Spans {
+				fmt.Printf(" %s=%v", sp.Stage, sp.Dur.Round(time.Microsecond))
+			}
+			fmt.Println()
+		}
+	}
 	if *jsonOut != "" {
 		buf, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -352,6 +410,74 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("results written to %s\n", *jsonOut)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// clusterLatency merges every server's latency snapshots into one
+// cluster-wide summary map for the report.
+func clusterLatency(servers []*hbase.RegionServer) map[string]obs.LatencySummary {
+	var get, put, scan, fsync, flush, compact, ship, tail obs.Snapshot
+	for _, rs := range servers {
+		ls := rs.LatencyStats()
+		get.Merge(ls.Get)
+		put.Merge(ls.Put)
+		scan.Merge(ls.Scan)
+		fsync.Merge(ls.Fsync)
+		flush.Merge(ls.Flush)
+		compact.Merge(ls.Compaction)
+		ship.Merge(ls.ReplicationShip)
+		tail.Merge(ls.TailShip)
+	}
+	out := make(map[string]obs.LatencySummary, 8)
+	add := func(name string, s *obs.Snapshot) {
+		if s.Count() > 0 {
+			out[name] = s.Summary()
+		}
+	}
+	add("get", &get)
+	add("put", &put)
+	add("scan", &scan)
+	add("fsync", &fsync)
+	add("flush", &flush)
+	add("compaction", &compact)
+	add("replication_ship", &ship)
+	add("tail_ship", &tail)
+	return out
+}
+
+// printLatencyTable renders the percentile table on stdout in a fixed
+// row order so runs diff cleanly.
+func printLatencyTable(lat map[string]obs.LatencySummary) {
+	if len(lat) == 0 {
+		return
+	}
+	fmt.Println("latency (cluster-wide):")
+	fmt.Printf("  %-16s %10s %12s %12s %12s %12s %12s %12s\n",
+		"class", "count", "mean", "p50", "p95", "p99", "p999", "max")
+	for _, name := range []string{"get", "put", "scan", "fsync", "flush", "compaction", "replication_ship", "tail_ship"} {
+		s, ok := lat[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-16s %10d %12v %12v %12v %12v %12v %12v\n",
+			name, s.Count,
+			time.Duration(s.Mean).Round(time.Microsecond),
+			time.Duration(s.P50).Round(time.Microsecond),
+			time.Duration(s.P95).Round(time.Microsecond),
+			time.Duration(s.P99).Round(time.Microsecond),
+			time.Duration(s.P999).Round(time.Microsecond),
+			time.Duration(s.Max).Round(time.Microsecond))
 	}
 }
 
@@ -474,11 +600,16 @@ func runYCSBParallel(cluster *met.Cluster, letter string, ops int, records int64
 	res.Transient = runner.Transient()
 	res.PerOp = make(map[string]int64)
 	res.PerOpNs = make(map[string]float64)
+	res.ClientLatency = make(map[string]obs.LatencySummary)
 	nanos := runner.OpNanos()
+	lats := runner.OpLatencies()
 	for op, n := range runner.Completed() {
-		fmt.Printf("  %-7s %d (%.0f ns/op)\n", op, n, nanos[op])
+		s := lats[op]
+		fmt.Printf("  %-7s %d (mean %.0f ns/op, p99 %v)\n",
+			op, n, nanos[op], time.Duration(s.P99).Round(time.Microsecond))
 		res.PerOp[op.String()] = n
 		res.PerOpNs[op.String()] = nanos[op]
+		res.ClientLatency[op.String()] = s
 	}
 	res.finish(elapsed)
 }

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"met/internal/kv"
+	"met/internal/obs"
 )
 
 // ErrPoolClosed is returned to waiters when the pool shuts down before
@@ -164,6 +165,7 @@ type Pool struct {
 	bytesIn         atomic.Int64
 	bytesOut        atomic.Int64
 	compactionNanos atomic.Int64
+	durHist         obs.Histogram // per-merge CompactFiles durations
 }
 
 // NewPool starts a pool with cfg.Workers background workers.
@@ -288,7 +290,7 @@ func (p *Pool) runTask(t *task) error {
 			p.compactions.Add(1)
 			p.bytesIn.Add(res.BytesIn)
 			p.bytesOut.Add(res.BytesOut)
-			p.compactionNanos.Add(int64(time.Since(start)))
+			p.compactionNanos.Add(int64(p.durHist.Since(start)))
 			if p.cfg.OnCompacted != nil {
 				p.cfg.OnCompacted(t.store, res)
 			}
@@ -373,6 +375,10 @@ func (s PoolStats) Add(o PoolStats) PoolStats {
 		},
 	}
 }
+
+// CompactionLatency returns the distribution of completed per-merge
+// CompactFiles durations.
+func (p *Pool) CompactionLatency() obs.Snapshot { return p.durHist.Snapshot() }
 
 // Stats snapshots the pool.
 func (p *Pool) Stats() PoolStats {

@@ -3,6 +3,7 @@ package core
 import (
 	"met/internal/hbase"
 	"met/internal/metrics"
+	"met/internal/obs"
 	"met/internal/sim"
 )
 
@@ -43,6 +44,10 @@ func (s *ClusterSource) Observe(now sim.Time) ([]metrics.NodeObservation, []metr
 	if secs <= 0 {
 		secs = 30
 	}
+	// One real runtime sample per poll; it describes the whole process,
+	// so every durable node in this single-process cluster shares it.
+	var proc obs.ProcessStats
+	var haveProc bool
 	for _, rs := range s.Master.Servers() {
 		cum := rs.Requests()
 		delta := cum.Sub(s.prevNode[rs.Name()])
@@ -59,14 +64,24 @@ func (s *ClusterSource) Observe(now sim.Time) ([]metrics.NodeObservation, []metr
 		cs := rs.CompactionStats()
 		reps := rs.ReplicationStats()
 		wal := rs.WALStats()
+		sys := metrics.SystemMetrics{
+			CPUUtilization: util,
+			IOWait:         util * 0.4,
+			MemoryUsage:    0.5,
+		}
+		if rs.Config().DataDir != "" {
+			// Durable nodes are a real process: report the runtime's
+			// memory pressure instead of the simulation placeholder.
+			if !haveProc {
+				proc, haveProc = obs.ReadProcessStats(), true
+			}
+			sys.Process = proc
+			sys.MemoryUsage = proc.MemoryFraction()
+		}
 		nodes = append(nodes, metrics.NodeObservation{
-			At:   now,
-			Node: rs.Name(),
-			System: metrics.SystemMetrics{
-				CPUUtilization: util,
-				IOWait:         util * 0.4,
-				MemoryUsage:    0.5,
-			},
+			At:       now,
+			Node:     rs.Name(),
+			System:   sys,
 			Requests: delta,
 			Locality: rs.Locality(),
 			Engine: metrics.EngineStats{
@@ -79,6 +94,7 @@ func (s *ClusterSource) Observe(now sim.Time) ([]metrics.NodeObservation, []metr
 				ReplicationBytesShipped: reps.BytesShipped,
 				WALAppends:              wal.Appends,
 				WALSyncRounds:           wal.SyncRounds,
+				Tail:                    tailLatencies(rs),
 			},
 		})
 		for _, r := range rs.Regions() {
@@ -92,4 +108,20 @@ func (s *ClusterSource) Observe(now sim.Time) ([]metrics.NodeObservation, []metr
 		}
 	}
 	return nodes, regions
+}
+
+// tailLatencies converts a server's histogram snapshots into the
+// percentile summaries the collector carries.
+func tailLatencies(rs *hbase.RegionServer) metrics.TailLatencies {
+	ls := rs.LatencyStats()
+	return metrics.TailLatencies{
+		Get:             ls.Get.Summary(),
+		Put:             ls.Put.Summary(),
+		Scan:            ls.Scan.Summary(),
+		Fsync:           ls.Fsync.Summary(),
+		Flush:           ls.Flush.Summary(),
+		Compaction:      ls.Compaction.Summary(),
+		ReplicationShip: ls.ReplicationShip.Summary(),
+		TailShip:        ls.TailShip.Summary(),
+	}
 }

@@ -10,8 +10,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"met/internal/kv"
+	"met/internal/obs"
 )
 
 const (
@@ -131,8 +133,16 @@ type WAL struct {
 	// foreground I/O budget.
 	bytesAppended atomic.Int64
 
+	// fsyncHist is the lock-free distribution of successful commit-path
+	// fsync round durations (met/internal/obs).
+	fsyncHist obs.Histogram
+
 	committer committer
 }
+
+// FsyncLatency returns the distribution of successful commit-path
+// fsync round durations.
+func (w *WAL) FsyncLatency() obs.Snapshot { return w.fsyncHist.Snapshot() }
 
 // committer implements the group-commit rendezvous: the first waiter
 // becomes the leader, fsyncs the active segment once, and advances
@@ -507,6 +517,7 @@ func (w *WAL) syncActive() (uint64, error) {
 		}
 		return target, nil
 	}
+	syncStart := time.Now()
 	err := walSyncFile(f, w.opts.NoSync)
 	if err != nil && errors.Is(err, os.ErrClosed) {
 		// A rotation sealed this segment after we sampled it; sealing
@@ -523,6 +534,7 @@ func (w *WAL) syncActive() (uint64, error) {
 		w.mu.Unlock()
 		return target, err
 	}
+	w.fsyncHist.Since(syncStart)
 	w.mu.Lock()
 	w.syncs++
 	w.mu.Unlock()

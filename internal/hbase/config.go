@@ -43,7 +43,10 @@
 // whose retry policy is out of scope here, as with real HBase clients.
 package hbase
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // ServerConfig carries the per-node tuning knobs from Section 2 of the
 // paper. Cache and memstore are expressed as fractions of the Java heap,
@@ -74,6 +77,17 @@ type ServerConfig struct {
 	// property, not a paper tuning knob: the Actuator carries it across
 	// profile changes unchanged. The zero value means defaults.
 	Compaction CompactionConfig
+	// SlowOpThreshold arms per-op tracing (met/internal/obs): an
+	// operation that takes at least this long lands in the server's
+	// slow-op ring buffer with its per-stage spans (routing, memstore,
+	// bloom, block cache, SSTable reads, WAL append/sync, flush). Zero
+	// (the default) disables tracing entirely — the serving path then
+	// pays only a nil check per stage. Like DataDir and Compaction this
+	// is a deployment property the Actuator carries across profiles.
+	SlowOpThreshold time.Duration
+	// SlowOpLogSize is the slow-op ring capacity; 0 means
+	// obs.DefaultSlowLogSize.
+	SlowOpLogSize int
 }
 
 // CompactionConfig exposes the background compaction knobs through the
@@ -161,6 +175,12 @@ func (c ServerConfig) Validate() error {
 	}
 	if c.Handlers <= 0 {
 		return fmt.Errorf("hbase: non-positive handler count %d", c.Handlers)
+	}
+	if c.SlowOpThreshold < 0 {
+		return fmt.Errorf("hbase: negative slow-op threshold %v", c.SlowOpThreshold)
+	}
+	if c.SlowOpLogSize < 0 {
+		return fmt.Errorf("hbase: negative slow-op log size %d", c.SlowOpLogSize)
 	}
 	return c.Compaction.Validate()
 }

@@ -30,7 +30,12 @@ type Region struct {
 
 	store    atomic.Pointer[kv.Store]
 	requests metrics.AtomicCounts
-	fileSeq  int
+	// lat holds the region-level serving latency histograms, recorded
+	// by the hosting server alongside its own (see telemetry.go). Like
+	// the request counters they are cumulative over the region's life,
+	// surviving store swaps and moves.
+	lat     opHists
+	fileSeq int
 
 	// HDFS mirror bookkeeping: which engine store files are reflected
 	// in the namenode. The mirror maps engine file IDs to HDFS file

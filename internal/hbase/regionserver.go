@@ -8,12 +8,14 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"met/internal/compaction"
 	"met/internal/durable"
 	"met/internal/hdfs"
 	"met/internal/kv"
 	"met/internal/metrics"
+	"met/internal/obs"
 	"met/internal/replication"
 )
 
@@ -76,6 +78,11 @@ type RegionServer struct {
 	// (OnSynced), which is what lets tail-streaming ship a hot memstore's
 	// acknowledged writes to followers. Nil on the in-memory backend.
 	wal *durable.WAL
+
+	// tel is the server's observability state: always-on lock-free
+	// latency histograms per op class, and the slow-op trace machinery
+	// armed by ServerConfig.SlowOpThreshold (see telemetry.go).
+	tel serverTelemetry
 }
 
 // NewRegionServer creates a running server and registers its co-located
@@ -94,6 +101,8 @@ func NewRegionServer(name string, cfg ServerConfig, nn *hdfs.Namenode) (*RegionS
 		cache:    kv.NewBlockCache(int(cfg.BlockCacheBytes())),
 		running:  true,
 	}
+	s.tel.slowLog = obs.NewSlowLog(cfg.SlowOpLogSize)
+	s.tel.setConfig(cfg)
 	s.compactor = newCompactorPool(cfg.Compaction, s)
 	s.replicator = newReplicator(cfg, s.compactor)
 	if cfg.DataDir != "" {
@@ -583,51 +592,78 @@ func (s *RegionServer) lookup(table, key string) (*Region, error) {
 	return nil, ErrWrongRegionServer
 }
 
-// Get reads the newest value of key.
+// Get reads the newest value of key. The op is timed into the server-
+// and region-level get histograms; with a slow-op threshold configured
+// it is also traced stage by stage (route, memstore, bloom, block
+// cache, SSTable reads) and captured in the slow log when over
+// threshold.
 func (s *RegionServer) Get(table, key string) ([]byte, error) {
+	start := time.Now()
+	tr := s.beginOp("get", table, key)
 	r, err := s.lookup(table, key)
+	tr.EndSpan("route", start)
 	if err != nil {
 		return nil, err
 	}
 	r.countRead()
 	s.requests.AddRead()
-	return r.Store().Get(key)
+	v, err := r.Store().GetTraced(key, tr)
+	d := time.Since(start)
+	recordOp(&s.tel.lat, &r.lat, opGet, d)
+	s.finishOp(tr, d)
+	return v, err
 }
 
 // Put writes a value and mirrors any resulting engine flush into HDFS.
 func (s *RegionServer) Put(table, key string, value []byte) error {
+	start := time.Now()
+	tr := s.beginOp("put", table, key)
 	r, err := s.lookup(table, key)
+	tr.EndSpan("route", start)
 	if err != nil {
 		return err
 	}
 	r.countWrite()
 	s.requests.AddWrite()
-	if err := r.Store().Put(key, value); err != nil {
+	if err := r.Store().PutTraced(key, value, tr); err != nil {
 		return err
 	}
 	s.mirrorSync(r)
+	d := time.Since(start)
+	recordOp(&s.tel.lat, &r.lat, opPut, d)
+	s.finishOp(tr, d)
 	return nil
 }
 
-// Delete removes a key.
+// Delete removes a key. Deletes are writes: they time into the put
+// histograms, matching the request counters.
 func (s *RegionServer) Delete(table, key string) error {
+	start := time.Now()
+	tr := s.beginOp("delete", table, key)
 	r, err := s.lookup(table, key)
+	tr.EndSpan("route", start)
 	if err != nil {
 		return err
 	}
 	r.countWrite()
 	s.requests.AddWrite()
-	if err := r.Store().Delete(key); err != nil {
+	if err := r.Store().DeleteTraced(key, tr); err != nil {
 		return err
 	}
 	s.mirrorSync(r)
+	d := time.Since(start)
+	recordOp(&s.tel.lat, &r.lat, opPut, d)
+	s.finishOp(tr, d)
 	return nil
 }
 
 // Scan reads up to limit entries in [start, end) within one region. The
 // client stitches multi-region scans together.
 func (s *RegionServer) Scan(table, start, end string, limit int) ([]kv.Entry, error) {
+	opStart := time.Now()
+	tr := s.beginOp("scan", table, start)
 	r, err := s.lookup(table, start)
+	tr.EndSpan("route", opStart)
 	if err != nil {
 		return nil, err
 	}
@@ -637,7 +673,11 @@ func (s *RegionServer) Scan(table, start, end string, limit int) ([]kv.Entry, er
 	if r.EndKey() != "" && (scanEnd == "" || r.EndKey() < scanEnd) {
 		scanEnd = r.EndKey()
 	}
-	return r.Store().Scan(start, scanEnd, limit)
+	out, err := r.Store().ScanTraced(start, scanEnd, limit, tr)
+	d := time.Since(opStart)
+	recordOp(&s.tel.lat, &r.lat, opScan, d)
+	s.finishOp(tr, d)
+	return out, err
 }
 
 // mirrorSync reconciles the region's HDFS mirror with its engine file
@@ -820,6 +860,7 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 	oldRep := s.replicator
 	s.cfg = cfg
 	s.cache = kv.NewBlockCache(int(cfg.BlockCacheBytes()))
+	s.tel.setConfig(cfg)
 	if cfg.Compaction != oldCompaction {
 		// New compaction knobs take effect like any other restart-only
 		// HBase setting: the old pool drains and a fresh one (new

@@ -1,0 +1,142 @@
+package hbase
+
+import (
+	"sync/atomic"
+	"time"
+
+	"met/internal/obs"
+)
+
+// opHists is the per-op-class latency histogram set recorded on every
+// served operation, kept at both server and region granularity (the
+// same two levels the request counters use). Deletes count as writes,
+// so they land in put.
+type opHists struct {
+	get  obs.Histogram
+	put  obs.Histogram
+	scan obs.Histogram
+}
+
+// serverTelemetry is the RegionServer's observability state. The
+// histograms are always on (lock-free, ~15ns per record); the trace
+// machinery is armed only when ServerConfig.SlowOpThreshold is set.
+// slowNanos is atomic because the hot path reads it outside the
+// server's topology lock and Restart rewrites it.
+type serverTelemetry struct {
+	lat       opHists
+	slowLog   *obs.SlowLog
+	slowNanos atomic.Int64 // 0 = tracing disabled
+}
+
+// beginOp starts a trace for an operation when tracing is armed.
+// Returns nil (free everywhere downstream) otherwise.
+func (s *RegionServer) beginOp(op, table, key string) *obs.Trace {
+	if s.tel.slowThreshold() == 0 {
+		return nil
+	}
+	return obs.StartTrace(op, table, key)
+}
+
+// finishOp records a traced op into the slow log if it crossed the
+// threshold.
+func (s *RegionServer) finishOp(tr *obs.Trace, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	if thr := s.tel.slowThreshold(); thr > 0 && d >= thr {
+		s.tel.slowLog.Observe(tr, d)
+	}
+}
+
+// SlowOps returns the server's retained slow operations, oldest first.
+func (s *RegionServer) SlowOps() []obs.SlowOp { return s.tel.slowLog.Snapshot() }
+
+// SlowOpsTotal returns how many ops ever crossed the slow threshold.
+func (s *RegionServer) SlowOpsTotal() int64 { return s.tel.slowLog.Total() }
+
+// LatencyStats is a server's full latency snapshot: the three serving
+// histograms plus every engine-side duration distribution, with the
+// per-region flush histograms merged server-wide. Zero-valued snapshots
+// mean the subsystem is absent (no WAL on the in-memory backend, no
+// replicator without a DataDir).
+type LatencyStats struct {
+	Get             obs.Snapshot
+	Put             obs.Snapshot
+	Scan            obs.Snapshot
+	Fsync           obs.Snapshot // shared-WAL commit fsync rounds
+	Flush           obs.Snapshot // memstore flushes, all hosted regions
+	Compaction      obs.Snapshot // background pool merges
+	ReplicationShip obs.Snapshot // SSTable reconciles that copied data
+	TailShip        obs.Snapshot // WAL-tail frame-file ships
+}
+
+// LatencyStats snapshots the server's latency histograms.
+func (s *RegionServer) LatencyStats() LatencyStats {
+	ls := LatencyStats{
+		Get:  s.tel.lat.get.Snapshot(),
+		Put:  s.tel.lat.put.Snapshot(),
+		Scan: s.tel.lat.scan.Snapshot(),
+	}
+	for _, r := range s.Regions() {
+		ls.Flush.Merge(r.Store().FlushLatency())
+	}
+	s.mu.RLock()
+	wal, pool, repl := s.wal, s.compactor, s.replicator
+	s.mu.RUnlock()
+	if wal != nil {
+		ls.Fsync = wal.FsyncLatency()
+	}
+	if pool != nil {
+		ls.Compaction = pool.CompactionLatency()
+	}
+	if repl != nil {
+		ls.ReplicationShip = repl.ShipLatency()
+		ls.TailShip = repl.TailShipLatency()
+	}
+	return ls
+}
+
+// RegionLatencyStats snapshots one hosted region's serving histograms
+// (zero snapshots when the region is not hosted here).
+func (s *RegionServer) RegionLatencyStats(region string) (get, put, scan obs.Snapshot) {
+	s.mu.RLock()
+	r, ok := s.regions[region]
+	s.mu.RUnlock()
+	if !ok {
+		return
+	}
+	return r.lat.get.Snapshot(), r.lat.put.Snapshot(), r.lat.scan.Snapshot()
+}
+
+func (t *serverTelemetry) slowThreshold() time.Duration {
+	return time.Duration(t.slowNanos.Load())
+}
+
+func (t *serverTelemetry) setConfig(cfg ServerConfig) {
+	t.slowNanos.Store(int64(cfg.SlowOpThreshold))
+}
+
+// recordOp lands one served operation in the server- and region-level
+// histograms for its op class.
+func recordOp(server, region *opHists, class opClass, d time.Duration) {
+	v := int64(d)
+	switch class {
+	case opGet:
+		server.get.RecordNanos(v)
+		region.get.RecordNanos(v)
+	case opPut:
+		server.put.RecordNanos(v)
+		region.put.RecordNanos(v)
+	case opScan:
+		server.scan.RecordNanos(v)
+		region.scan.RecordNanos(v)
+	}
+}
+
+type opClass int
+
+const (
+	opGet opClass = iota
+	opPut
+	opScan
+)

@@ -3,6 +3,8 @@ package kv
 import (
 	"fmt"
 	"sort"
+
+	"met/internal/obs"
 )
 
 // Block is one unit of a store file: a run of consecutive entries that is
@@ -183,19 +185,23 @@ func (f *StoreFile) blockFor(key string) int {
 // get looks up the newest version of key, loading the candidate block
 // through the cache. found=false with a nil error means the key is not in
 // this file; the filter check comes first, so a negative lookup on a
-// bloom-filtered file reads no data block at all.
-func (f *StoreFile) get(key string, cache *BlockCache, stats *storeStats) (Entry, bool, error) {
+// bloom-filtered file reads no data block at all. A non-nil trace
+// records a span per consulted stage (bloom negative, cache hit, or
+// SSTable read).
+func (f *StoreFile) get(key string, cache *BlockCache, stats *storeStats, tr *obs.Trace) (Entry, bool, error) {
 	bi := f.blockFor(key)
 	if bi < 0 {
 		return Entry{}, false, nil
 	}
+	st := tr.StartSpan()
 	if !f.src.MayContain(key) {
 		if stats != nil {
 			stats.filterNegatives.Add(1)
 		}
+		tr.EndSpan("bloom-negative", st)
 		return Entry{}, false, nil
 	}
-	b, err := f.loadBlock(bi, cache, stats)
+	b, err := f.loadBlock(bi, cache, stats, tr)
 	if err != nil {
 		return Entry{}, false, err
 	}
@@ -208,20 +214,26 @@ func (f *StoreFile) get(key string, cache *BlockCache, stats *storeStats) (Entry
 	return Entry{}, false, nil
 }
 
-// loadBlock fetches block bi through the cache, recording hit/miss stats.
-func (f *StoreFile) loadBlock(bi int, cache *BlockCache, stats *storeStats) (*Block, error) {
+// loadBlock fetches block bi through the cache, recording hit/miss
+// stats and — when traced — a "block-cache" span for a hit or an
+// "sstable-read" span for a source load.
+func (f *StoreFile) loadBlock(bi int, cache *BlockCache, stats *storeStats, tr *obs.Trace) (*Block, error) {
+	st := tr.StartSpan()
 	if cache == nil {
 		if stats != nil {
 			stats.cacheMisses.Add(1)
 			stats.blocksRead.Add(1)
 		}
-		return f.src.LoadBlock(bi)
+		b, err := f.src.LoadBlock(bi)
+		tr.EndSpan("sstable-read", st)
+		return b, err
 	}
 	key := blockKey{file: f.id, block: bi}
 	if b, ok := cache.get(key); ok {
 		if stats != nil {
 			stats.cacheHits.Add(1)
 		}
+		tr.EndSpan("block-cache", st)
 		return b, nil
 	}
 	b, err := f.src.LoadBlock(bi)
@@ -233,6 +245,7 @@ func (f *StoreFile) loadBlock(bi int, cache *BlockCache, stats *storeStats) (*Bl
 		stats.cacheMisses.Add(1)
 		stats.blocksRead.Add(1)
 	}
+	tr.EndSpan("sstable-read", st)
 	return b, nil
 }
 
@@ -253,7 +266,7 @@ func (f *StoreFile) iteratorFrom(start string, cache *BlockCache, stats *storeSt
 		bi = 0
 	}
 	it.block = bi
-	cur, err := f.loadBlock(bi, cache, stats)
+	cur, err := f.loadBlock(bi, cache, stats, nil)
 	if err != nil {
 		it.err = err
 		it.block = len(f.firstKeys)
@@ -290,7 +303,7 @@ func (it *fileIter) Next() bool {
 			if it.block >= len(it.f.firstKeys) {
 				return false
 			}
-			cur, err := it.f.loadBlock(it.block, it.cache, it.stats)
+			cur, err := it.f.loadBlock(it.block, it.cache, it.stats, nil)
 			if err != nil {
 				it.err = err
 				it.block = len(it.f.firstKeys)

@@ -113,7 +113,7 @@ func TestFileCodecRoundTrip(t *testing.T) {
 	// Every key findable in the decoded file.
 	for i := 0; i < 500; i += 37 {
 		key := fmt.Sprintf("key%04d", i)
-		e, found, _ := back.get(key, nil, nil)
+		e, found, _ := back.get(key, nil, nil, nil)
 		if !found || string(e.Value) != fmt.Sprintf("value-%d", i) {
 			t.Fatalf("key %s lost in round trip", key)
 		}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"met/internal/obs"
 )
 
 // fileIDCounter mints store-file IDs that are unique process-wide, so
@@ -281,6 +283,11 @@ type Store struct {
 	// region move can swap it (SetFilesChanged) without racing a flush.
 	onFilesChanged atomic.Pointer[func()]
 	filesDirty     atomic.Bool
+
+	// flushHist is the lock-free distribution of memstore-flush
+	// durations (met/internal/obs); the telemetry plane merges it
+	// across a server's regions.
+	flushHist obs.Histogram
 }
 
 // compactionWiring bundles the rewirable background-compaction hooks.
@@ -516,7 +523,7 @@ func (s *Store) nextTimestamp() uint64 {
 // With a background compactor the write first passes the stall gate
 // (file-count backpressure) and afterwards fires the compaction trigger,
 // both outside the lock.
-func (s *Store) mutate(e Entry, counter *atomic.Int64) error {
+func (s *Store) mutate(e Entry, counter *atomic.Int64, tr *obs.Trace) error {
 	s.maybeStall()
 	s.mu.Lock()
 	if s.closed || s.sealed {
@@ -526,6 +533,7 @@ func (s *Store) mutate(e Entry, counter *atomic.Int64) error {
 	e.Timestamp = s.nextTimestamp()
 	var commit func() error
 	if s.cfg.WAL != nil {
+		st := tr.StartSpan()
 		if gw, ok := s.cfg.WAL.(GroupWAL); ok {
 			c, err := gw.AppendBuffered(e)
 			if err != nil {
@@ -537,19 +545,27 @@ func (s *Store) mutate(e Entry, counter *atomic.Int64) error {
 			s.mu.Unlock()
 			return fmt.Errorf("kv: wal append: %w", err)
 		}
+		tr.EndSpan("wal-append", st)
 	}
+	st := tr.StartSpan()
 	s.mem.Add(e)
+	tr.EndSpan("memstore", st)
 	counter.Add(1)
 	s.stats.userBytes.Add(int64(e.Size()))
 	var flushErr error
 	if s.mem.Bytes() >= s.cfg.MemstoreFlushBytes {
+		st = tr.StartSpan()
 		flushErr = s.flushLocked()
+		tr.EndSpan("flush", st)
 	}
 	s.mu.Unlock()
 	s.maybeTriggerCompaction()
 	s.notifyFilesChanged()
 	if commit != nil {
-		if err := commit(); err != nil {
+		st = tr.StartSpan()
+		err := commit()
+		tr.EndSpan("wal-sync", st)
+		if err != nil {
 			return fmt.Errorf("kv: wal sync: %w", err)
 		}
 	}
@@ -563,12 +579,24 @@ func (s *Store) mutate(e Entry, counter *atomic.Int64) error {
 // subsequent reads, matching HBase's contract; with a group-commit WAL
 // the call returns only once the write is durable.
 func (s *Store) Put(key string, value []byte) error {
-	return s.mutate(Entry{Key: key, Value: append([]byte(nil), value...)}, &s.stats.puts)
+	return s.PutTraced(key, value, nil)
+}
+
+// PutTraced is Put with a trace context: the WAL append, memstore
+// apply, inline flush and group-commit wait each record a span. A nil
+// trace is free.
+func (s *Store) PutTraced(key string, value []byte, tr *obs.Trace) error {
+	return s.mutate(Entry{Key: key, Value: append([]byte(nil), value...)}, &s.stats.puts, tr)
 }
 
 // Delete writes a tombstone for key.
 func (s *Store) Delete(key string) error {
-	return s.mutate(Entry{Key: key, Tombstone: true}, &s.stats.deletes)
+	return s.DeleteTraced(key, nil)
+}
+
+// DeleteTraced is Delete with a trace context.
+func (s *Store) DeleteTraced(key string, tr *obs.Trace) error {
+	return s.mutate(Entry{Key: key, Tombstone: true}, &s.stats.deletes, tr)
 }
 
 // ImportEntries bulk-loads entries as fresh writes — the migration path
@@ -693,18 +721,27 @@ func (s *Store) ApplyReplayed(entries []Entry) (int, error) {
 // concurrently with each other and with Scans; they only exclude
 // writers.
 func (s *Store) Get(key string) ([]byte, error) {
+	return s.GetTraced(key, nil)
+}
+
+// GetTraced is Get with a trace context: the memstore probe and every
+// consulted file (bloom negative, block-cache hit or SSTable read)
+// record spans. A nil trace is free — no clock reads, no allocation.
+func (s *Store) GetTraced(key string, tr *obs.Trace) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
 	s.stats.gets.Add(1)
+	st := tr.StartSpan()
 	best, ok := s.mem.Get(key)
+	tr.EndSpan("memstore", st)
 	for _, f := range s.files {
 		if ok && best.Timestamp >= f.MaxTimestamp() {
 			break // nothing newer can exist in older files
 		}
-		e, found, err := f.get(key, s.cache, &s.stats)
+		e, found, err := f.get(key, s.cache, &s.stats, tr)
 		if err != nil {
 			return nil, fmt.Errorf("kv: read file %d: %w", f.ID(), err)
 		}
@@ -728,6 +765,13 @@ func (s *Store) Get(key string) ([]byte, error) {
 // is taken; entries written afterwards may or may not be observed, which
 // matches HBase's scanner semantics.
 func (s *Store) Scan(start, end string, limit int) ([]Entry, error) {
+	return s.ScanTraced(start, end, limit, nil)
+}
+
+// ScanTraced is Scan with a trace context: the snapshot acquisition and
+// the merge iteration record spans. A nil trace is free.
+func (s *Store) ScanTraced(start, end string, limit int, tr *obs.Trace) ([]Entry, error) {
+	st := tr.StartSpan()
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -742,8 +786,10 @@ func (s *Store) Scan(start, end string, limit int) ([]Entry, error) {
 			s.drainRetired(false)
 		}
 	}()
+	tr.EndSpan("snapshot", st)
 
 	s.stats.scans.Add(1)
+	st = tr.StartSpan()
 	sources := make([]Iterator, 0, len(files)+1)
 	sources = append(sources, mem.IteratorFrom(start))
 	for _, f := range files {
@@ -758,6 +804,7 @@ func (s *Store) Scan(start, end string, limit int) ([]Entry, error) {
 		out = append(out, e)
 		scanned++
 	}
+	tr.EndSpan("iterate", st)
 	s.stats.scannedEntries.Add(scanned)
 	for _, src := range sources {
 		if err := iterErr(src); err != nil {
@@ -766,6 +813,10 @@ func (s *Store) Scan(start, end string, limit int) ([]Entry, error) {
 	}
 	return out, nil
 }
+
+// FlushLatency returns the distribution of this store's memstore-flush
+// durations.
+func (s *Store) FlushLatency() obs.Snapshot { return s.flushHist.Snapshot() }
 
 // Flush forces the memstore to a new store file.
 func (s *Store) Flush() error {
@@ -781,6 +832,7 @@ func (s *Store) flushLocked() error {
 	if s.mem.Len() == 0 {
 		return nil
 	}
+	flushStart := time.Now()
 	entries := make([]Entry, 0, s.mem.Len())
 	it := s.mem.Iterator()
 	for it.Next() {
@@ -797,6 +849,7 @@ func (s *Store) flushLocked() error {
 	s.filesDirty.Store(true)
 	s.stats.flushes.Add(1)
 	s.stats.flushedBytes.Add(int64(f.Bytes()))
+	s.flushHist.Since(flushStart)
 	w := s.wiring.Load()
 	if w.budget != nil {
 		// Flush I/O is foreground: it is accounted against the shared

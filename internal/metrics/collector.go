@@ -3,14 +3,22 @@ package metrics
 import (
 	"sort"
 
+	"met/internal/obs"
 	"met/internal/sim"
 )
 
 // SystemMetrics are the Ganglia-level metrics MeT monitors per node.
+// Simulated clusters synthesize the three fractions; durable clusters
+// additionally carry a real runtime sample in Process (zero-valued when
+// the cluster is simulated), and derive MemoryUsage from it.
 type SystemMetrics struct {
 	CPUUtilization float64 // fraction of CPU busy, 0..1
 	IOWait         float64 // fraction of time waiting on disk, 0..1
 	MemoryUsage    float64 // fraction of memory in use, 0..1
+
+	// Process is the Go runtime sample behind the fractions when the
+	// node is backed by a real process (heap, GC, goroutines).
+	Process obs.ProcessStats
 }
 
 // RequestCounts are cumulative operation counters, per node or per region,
@@ -67,6 +75,25 @@ type EngineStats struct {
 	// write pressure instead of degrading with region count.
 	WALAppends    int64
 	WALSyncRounds int64
+	// Tail carries the node's latency-percentile summaries from the
+	// telemetry layer (met/internal/obs). Zero-valued summaries mean the
+	// subsystem has not recorded yet (or the cluster predates telemetry).
+	Tail TailLatencies
+}
+
+// TailLatencies is the percentile view of a node's latency histograms:
+// the three serving classes plus every engine-side duration. It is the
+// collector-friendly form of hbase.LatencyStats (summaries, not full
+// histograms, so observations stay cheap to copy and to serialize).
+type TailLatencies struct {
+	Get             obs.LatencySummary
+	Put             obs.LatencySummary
+	Scan            obs.LatencySummary
+	Fsync           obs.LatencySummary
+	Flush           obs.LatencySummary
+	Compaction      obs.LatencySummary
+	ReplicationShip obs.LatencySummary
+	TailShip        obs.LatencySummary
 }
 
 // NodeObservation is one monitoring sample for one node.

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair. Exporters pass labels as ordered
+// slices (not maps) so the emitted text is deterministic — the golden
+// exposition test depends on it.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// MetricWriter emits the Prometheus text exposition format (version
+// 0.0.4). Write errors are sticky: the first one is remembered and all
+// subsequent calls are no-ops, so exporters can emit an entire page and
+// check Err once.
+type MetricWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewMetricWriter wraps w.
+func NewMetricWriter(w io.Writer) *MetricWriter { return &MetricWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (m *MetricWriter) Err() error { return m.err }
+
+func (m *MetricWriter) printf(format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, format, args...)
+}
+
+// Header emits the # HELP and # TYPE lines for a metric family. typ is
+// one of "counter", "gauge", "summary" or "untyped".
+func (m *MetricWriter) Header(name, help, typ string) {
+	m.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample emits one sample line: name{labels} value.
+func (m *MetricWriter) Sample(name string, labels []Label, value float64) {
+	m.printf("%s%s %s\n", name, formatLabels(labels), formatValue(value))
+}
+
+// Counter emits a counter sample from an integer total.
+func (m *MetricWriter) Counter(name string, labels []Label, total int64) {
+	m.Sample(name, labels, float64(total))
+}
+
+// Summary emits a summary family member for one histogram snapshot:
+// quantile series for the standard percentile set plus _sum and _count.
+// Values are converted from nanoseconds to seconds, the Prometheus base
+// unit for durations, so name should end in "_seconds".
+func (m *MetricWriter) Summary(name string, labels []Label, s *Snapshot) {
+	quantiles := []struct {
+		q string
+		v int64
+	}{
+		{"0.5", s.Percentile(0.50)},
+		{"0.95", s.Percentile(0.95)},
+		{"0.99", s.Percentile(0.99)},
+		{"0.999", s.Percentile(0.999)},
+	}
+	for _, q := range quantiles {
+		m.Sample(name, append(labels[:len(labels):len(labels)], Label{"quantile", q.q}), nanosToSeconds(q.v))
+	}
+	m.Sample(name+"_sum", labels, float64(s.Sum())/1e9)
+	m.Counter(name+"_count", labels, s.Count())
+}
+
+func nanosToSeconds(ns int64) float64 { return float64(ns) / 1e9 }
+
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact Prometheus text exposition for a
+// deterministic histogram: 99 ops at 1µs and one at 1ms. 1000 ns falls
+// in the bucket with upper bound 1023 ns; the p99.9 rank lands on the
+// outlier and clamps to the observed max.
+func TestExpositionGolden(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.RecordNanos(1000)
+	}
+	h.RecordNanos(1_000_000)
+	s := h.Snapshot()
+
+	var b strings.Builder
+	m := NewMetricWriter(&b)
+	m.Header("met_test_latency_seconds", "Test summary.", "summary")
+	m.Summary("met_test_latency_seconds", []Label{{"op", "get"}}, &s)
+	m.Header("met_test_requests_total", "Test counter.", "counter")
+	m.Counter("met_test_requests_total", []Label{{"server", "rs1"}, {"op", "get"}}, 12345)
+	m.Header("met_test_up", "Unlabeled gauge.", "gauge")
+	m.Sample("met_test_up", nil, 1)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	const want = `# HELP met_test_latency_seconds Test summary.
+# TYPE met_test_latency_seconds summary
+met_test_latency_seconds{op="get",quantile="0.5"} 1.023e-06
+met_test_latency_seconds{op="get",quantile="0.95"} 1.023e-06
+met_test_latency_seconds{op="get",quantile="0.99"} 1.023e-06
+met_test_latency_seconds{op="get",quantile="0.999"} 0.001
+met_test_latency_seconds_sum{op="get"} 0.001099
+met_test_latency_seconds_count{op="get"} 100
+# HELP met_test_requests_total Test counter.
+# TYPE met_test_requests_total counter
+met_test_requests_total{server="rs1",op="get"} 12345
+# HELP met_test_up Unlabeled gauge.
+# TYPE met_test_up gauge
+met_test_up 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	var b strings.Builder
+	m := NewMetricWriter(&b)
+	m.Sample("x", []Label{{"k", "a\"b\\c\nd"}}, 0)
+	want := "x{k=\"a\\\"b\\\\c\\nd\"} 0\n"
+	if got := b.String(); got != want {
+		t.Fatalf("escaping mismatch: got %q want %q", got, want)
+	}
+}
+
+// TestSummaryDoesNotCorruptCallerLabels guards the full-slice-expr
+// trick: appending the quantile label must not scribble on a labels
+// slice the caller reuses.
+func TestSummaryDoesNotCorruptCallerLabels(t *testing.T) {
+	labels := make([]Label, 1, 4)
+	labels[0] = Label{"server", "rs1"}
+	var h Histogram
+	h.RecordNanos(5)
+	s := h.Snapshot()
+	var b strings.Builder
+	m := NewMetricWriter(&b)
+	m.Summary("a_seconds", labels, &s)
+	m.Counter("b_total", append(labels, Label{"op", "get"}), 1)
+	if !strings.Contains(b.String(), `b_total{server="rs1",op="get"} 1`) {
+		t.Fatalf("caller labels corrupted:\n%s", b.String())
+	}
+}

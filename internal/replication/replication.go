@@ -65,9 +65,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"met/internal/durable"
 	"met/internal/kv"
+	"met/internal/obs"
 )
 
 // Config tunes a Replicator. The zero value gets one worker and an
@@ -118,6 +120,11 @@ type Replicator struct {
 	tailShips    atomic.Int64
 	tailBytes    atomic.Int64
 	tailFrames   atomic.Int64
+
+	// shipHist times replica-directory reconciles that copied at least
+	// one SSTable; tailHist times WAL-tail frame-file ships.
+	shipHist obs.Histogram
+	tailHist obs.Histogram
 }
 
 // New starts a replicator with cfg.Workers background workers.
@@ -260,12 +267,18 @@ func (r *Replicator) sync(t *target) error {
 	}
 	var firstErr error
 	for _, dir := range t.dests() {
+		shippedBefore := r.filesShipped.Load()
+		shipStart := time.Now()
 		if err := r.syncDir(dir, files); err != nil && firstErr == nil {
 			firstErr = err
+		}
+		if r.filesShipped.Load() > shippedBefore {
+			r.shipHist.Since(shipStart)
 		}
 		if t.tail == nil {
 			continue
 		}
+		tailStart := time.Now()
 		n, err := durable.WriteTailFile(durable.TailFilePath(dir), tail, false)
 		if err != nil {
 			if firstErr == nil {
@@ -274,6 +287,7 @@ func (r *Replicator) sync(t *target) error {
 			continue
 		}
 		if n > 0 {
+			r.tailHist.Since(tailStart)
 			if r.cfg.Budget != nil {
 				r.cfg.Budget.WaitBackground(int(n))
 			}
@@ -284,6 +298,13 @@ func (r *Replicator) sync(t *target) error {
 	}
 	return firstErr
 }
+
+// ShipLatency returns the distribution of replica reconcile durations
+// that copied at least one SSTable.
+func (r *Replicator) ShipLatency() obs.Snapshot { return r.shipHist.Snapshot() }
+
+// TailShipLatency returns the distribution of WAL-tail ship durations.
+func (r *Replicator) TailShipLatency() obs.Snapshot { return r.tailHist.Snapshot() }
 
 // syncDir makes dir hold exactly the snapshot's SSTables (modulo files
 // newer than the snapshot, which a pending notification owns).

@@ -10,6 +10,7 @@ import (
 
 	"met/internal/hbase"
 	"met/internal/kv"
+	"met/internal/obs"
 	"met/internal/sim"
 )
 
@@ -18,21 +19,25 @@ const numOpTypes = int(OpReadModifyWrite) + 1
 
 // ParallelRunner drives one workload against the functional hbase
 // cluster from many goroutines at once — the closed-loop thread pool
-// real YCSB uses (the paper runs 50 client threads per workload). Shared
-// state is limited to atomics: per-op completion counters, the error
-// count and the insert cursor that extends the keyspace; every worker
-// owns its RNG and key generator, so runs are deterministic for a given
-// (seed, concurrency) pair and the workers never share a lock.
+// real YCSB uses (the paper runs 50 client threads per workload).
+// Hot-path shared state is limited to the few atomics that must be
+// shared (the error counts and the insert cursor that extends the
+// keyspace); per-op completions and latencies live in worker-private
+// histogram shards (obs.Shard) merged into the runner when each worker
+// finishes, so timing costs no cross-core contention at all. Every
+// worker owns its RNG and key generator, so runs are deterministic for
+// a given (seed, concurrency) pair.
 type ParallelRunner struct {
 	W           Workload
 	Client      *hbase.Client
 	Concurrency int
 
 	inserts   atomic.Int64
-	completed [numOpTypes]atomic.Int64
-	opNanos   [numOpTypes]atomic.Int64
 	errors    atomic.Int64
 	transient atomic.Int64
+
+	mu  sync.Mutex
+	lat [numOpTypes]obs.Snapshot // merged worker shards, all Runs so far
 }
 
 // NewParallelRunner prepares a runner fanning the workload across
@@ -109,6 +114,7 @@ func (p *ParallelRunner) Run(n int, seed uint64) error {
 				rng: sim.NewRNG(seed + uint64(wkr)*0x9e3779b97f4a7c15),
 				gen: NewPaperHotspot(p.W.RecordCount),
 			}
+			defer p.mergeWorker(w)
 			for i := 0; i < share; i++ {
 				if err := w.step(); err != nil {
 					errs[wkr] = err
@@ -121,12 +127,25 @@ func (p *ParallelRunner) Run(n int, seed uint64) error {
 	return errors.Join(errs...)
 }
 
-// worker is one closed-loop client goroutine: private RNG and generator,
-// shared atomics on the runner.
+// worker is one closed-loop client goroutine: private RNG, generator
+// and latency shards; only the keyspace cursor and error counts touch
+// shared atomics.
 type worker struct {
 	p   *ParallelRunner
 	rng *sim.RNG
 	gen Generator
+	lat [numOpTypes]obs.Shard
+}
+
+// mergeWorker folds a finished worker's latency shards into the
+// runner's merged snapshots.
+func (p *ParallelRunner) mergeWorker(w *worker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for op := 0; op < numOpTypes; op++ {
+		s := w.lat[op].Snapshot()
+		p.lat[op].Merge(s)
+	}
 }
 
 // step executes one operation drawn from the workload mix, timing it so
@@ -167,8 +186,7 @@ func (w *worker) step() error {
 		p.errors.Add(1)
 		return err
 	}
-	p.completed[op].Add(1)
-	p.opNanos[op].Add(int64(time.Since(start)))
+	w.lat[op].RecordNanos(int64(time.Since(start)))
 	return nil
 }
 
@@ -182,11 +200,14 @@ func (w *worker) key() string {
 	return w.p.W.Key(i)
 }
 
-// Completed returns per-op completion counts.
+// Completed returns per-op completion counts (merged from finished
+// workers; stable once Run has returned).
 func (p *ParallelRunner) Completed() map[OpType]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make(map[OpType]int64, numOpTypes)
 	for op := 0; op < numOpTypes; op++ {
-		if n := p.completed[op].Load(); n > 0 {
+		if n := p.lat[op].Count(); n > 0 {
 			out[OpType(op)] = n
 		}
 	}
@@ -195,12 +216,29 @@ func (p *ParallelRunner) Completed() map[OpType]int64 {
 
 // OpNanos returns the mean measured latency per completed operation of
 // each class, in nanoseconds — the raw material for calibrating the
-// performance model's cost constants against the real engine.
+// performance model's cost constants against the real engine. The mean
+// is exact (histogram sums are exact; only percentiles are bucketed).
 func (p *ParallelRunner) OpNanos() map[OpType]float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make(map[OpType]float64, numOpTypes)
 	for op := 0; op < numOpTypes; op++ {
-		if n := p.completed[op].Load(); n > 0 {
-			out[OpType(op)] = float64(p.opNanos[op].Load()) / float64(n)
+		if n := p.lat[op].Count(); n > 0 {
+			out[OpType(op)] = float64(p.lat[op].Sum()) / float64(n)
+		}
+	}
+	return out
+}
+
+// OpLatencies returns the per-op-class latency distribution summaries
+// (count, exact mean, bucketed p50/p95/p99/p999, max).
+func (p *ParallelRunner) OpLatencies() map[OpType]obs.LatencySummary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[OpType]obs.LatencySummary, numOpTypes)
+	for op := 0; op < numOpTypes; op++ {
+		if p.lat[op].Count() > 0 {
+			out[OpType(op)] = p.lat[op].Summary()
 		}
 	}
 	return out
@@ -208,9 +246,11 @@ func (p *ParallelRunner) OpNanos() map[OpType]float64 {
 
 // TotalCompleted returns the total successful operations.
 func (p *ParallelRunner) TotalCompleted() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var sum int64
 	for op := 0; op < numOpTypes; op++ {
-		sum += p.completed[op].Load()
+		sum += p.lat[op].Count()
 	}
 	return sum
 }

@@ -96,6 +96,28 @@
 // write-heavy scenario that keeps the compactor busy and reports
 // flush/compaction/stall/write-amplification counters in its -json
 // output.
+//
+// # Observability
+//
+// Every cluster carries an always-on telemetry layer (met/internal/obs):
+// lock-free HDR-style latency histograms record every Get/Put/Scan at
+// both server and region level, plus every engine-side duration — WAL
+// fsync rounds, memstore flushes, compactions, replication SSTable
+// ships and WAL-tail ships. Percentiles (p50/p95/p99/p999) come from
+// mergeable snapshots, so recording costs ~15ns per op and never locks.
+//
+//	srv, err := cluster.ServeDebug("127.0.0.1:6060")
+//
+// starts the opt-in HTTP debug plane: /metrics (Prometheus text
+// exposition of the full series set), /healthz (non-200 while any
+// server is stopped), /debug/slowops (JSON), /debug/vars (expvar) and
+// /debug/pprof. Setting ServerConfig.SlowOpThreshold additionally arms
+// per-op tracing: an operation slower than the threshold lands in the
+// server's bounded slow-op ring with per-stage spans (routing,
+// memstore, bloom, block cache, SSTable reads, WAL append/sync) —
+// RegionServer.SlowOps returns them, the debug plane serves them.
+// `metbench -slowlog 10ms -debug-addr :6060` wires both into the
+// benchmark, and its -json output carries the full percentile tables.
 package met
 
 import (
@@ -106,6 +128,7 @@ import (
 	"met/internal/exp"
 	"met/internal/hbase"
 	"met/internal/hdfs"
+	"met/internal/obs"
 	"met/internal/placement"
 	"met/internal/sim"
 )
@@ -266,6 +289,15 @@ func (c *Cluster) RestoreSnapshot(table, name string) error {
 // — zero after a clean flush with replication quiesced.
 func (c *Cluster) RecoverServer(name string) (*RecoveryReport, error) {
 	return c.Master.RecoverServer(name)
+}
+
+// ServeDebug starts the cluster's HTTP debug plane on addr (host:port;
+// ":0" picks a free port — read it back from DebugServer.Addr). It
+// serves /metrics (Prometheus text exposition), /healthz,
+// /debug/slowops, /debug/vars and /debug/pprof until Close. Purely
+// opt-in: a cluster that never calls ServeDebug opens no sockets.
+func (c *Cluster) ServeDebug(addr string) (*obs.DebugServer, error) {
+	return obs.ServeDebug(addr, c.Master.DebugConfig())
 }
 
 // NewController attaches MeT to a functional cluster. nominalOpsPerSec
