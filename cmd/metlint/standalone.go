@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"met/internal/analysis"
+)
+
+// listedPackage is the slice of `go list -json` output the
+// standalone driver needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	ForTest    string
+	DepOnly    bool
+}
+
+// standaloneMain loads packages via `go list -export` and analyzes
+// every package of this module, preferring the test variant of a
+// package (production + test files) when one exists so crashpoint
+// sees test coverage.
+func standaloneMain(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps", "-test",
+		"-json=ImportPath,Dir,Export,GoFiles,ImportMap,ForTest,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metlint: go list: %v\n", err)
+		return 1
+	}
+
+	exportOf := map[string]string{}
+	var pkgs []*listedPackage
+	hasTestVariant := map[string]bool{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "metlint: decoding go list output: %v\n", err)
+			return 1
+		}
+		if p.Export != "" {
+			exportOf[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, &p)
+		if p.ForTest != "" && !strings.HasSuffix(p.ImportPath, ".test") {
+			hasTestVariant[p.ForTest] = true
+		}
+	}
+
+	exit := 0
+	for _, p := range pkgs {
+		if !analyzable(p, hasTestVariant) {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(p.Dir, f)
+			}
+			files[i] = f
+		}
+		pkg, err := loadFromExportData(p.ImportPath, "", files,
+			func(path string) (io.ReadCloser, error) {
+				if mapped, ok := p.ImportMap[path]; ok {
+					path = mapped
+				}
+				file, ok := exportOf[path]
+				if !ok {
+					return nil, fmt.Errorf("no export data for %q", path)
+				}
+				return os.Open(file)
+			})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metlint: %s: %v\n", p.ImportPath, err)
+			exit = 1
+			continue
+		}
+		findings, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metlint: %s: %v\n", p.ImportPath, err)
+			exit = 1
+			continue
+		}
+		if len(findings) > 0 {
+			printFindings(findings)
+			if exit == 0 {
+				exit = 2
+			}
+		}
+	}
+	return exit
+}
+
+// analyzable selects this module's real packages: skip dependencies
+// outside the module, generated .test binaries, and the plain
+// variant of any package that also has a test variant (the variant's
+// file set is a superset).
+func analyzable(p *listedPackage, hasTestVariant map[string]bool) bool {
+	if p.DepOnly || len(p.GoFiles) == 0 {
+		return false
+	}
+	ip := p.ImportPath
+	if ip != "met" && !strings.HasPrefix(ip, "met/") {
+		return false
+	}
+	if strings.HasSuffix(ip, ".test") {
+		return false // generated test main
+	}
+	if p.ForTest == "" && hasTestVariant[ip] {
+		return false // superseded by its test variant
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"met/internal/analysis"
+)
+
+// vetConfig mirrors the JSON the go command writes for -vettool
+// tools (cmd/go/internal/work's vetConfig). Fields we don't use are
+// kept so the decoder stays strict-compatible with future additions.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheckerMain analyzes the single package described by cfgPath.
+// The go command supplies export data for every dependency through
+// PackageFile, so no build work happens here.
+func unitcheckerMain(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "metlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command requires the facts file to exist after every
+	// run (it is cached like an object file). Our analyzers are
+	// fact-free, so an empty file is a complete answer — and for
+	// VetxOnly runs (dependency packages) it is all that is needed.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "metlint: %v\n", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	pkg, err := loadFromExportData(cfg.ImportPath, cfg.GoVersion, cfg.GoFiles,
+		func(path string) (io.ReadCloser, error) {
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			file, ok := cfg.PackageFile[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		})
+	if err != nil {
+		writeVetx()
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "metlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	findings, err := analysis.RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	writeVetx()
+	if len(findings) > 0 {
+		printFindings(findings)
+		return 2
+	}
+	return 0
+}
+
+// loadFromExportData parses and typechecks one package whose
+// dependencies are available as gc export data through lookup.
+func loadFromExportData(importPath, goVersion string, goFiles []string,
+	lookup func(string) (io.ReadCloser, error)) (*analysis.Package, error) {
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: goVersion,
+	}
+	// Test variants carry their variant suffix in the import path;
+	// the type-checker wants the plain path.
+	path := importPath
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Package{Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

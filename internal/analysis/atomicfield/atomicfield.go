@@ -1,0 +1,160 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct
+// fields: a field that is ever accessed through sync/atomic functions
+// (atomic.AddInt64(&s.f, 1)) or declared with one of the sync/atomic
+// types (atomic.Int64, atomic.Pointer[T], ...) must never be read or
+// written plainly. Mixed access is exactly the bug the race detector
+// only catches when both sides happen to run in one test: a plain
+// read next to an atomic write is a data race on every weakly-ordered
+// machine.
+//
+// Two rules:
+//
+//  1. A field passed by address to a sync/atomic function anywhere in
+//     the package is "atomic by use": every other access must either
+//     also take its address (handed to sync/atomic or to a helper
+//     that does) or be flagged.
+//  2. A field whose declared type lives in sync/atomic is "atomic by
+//     type": it may only be used as a method receiver (s.f.Load())
+//     or have its address taken; copying its value or assigning over
+//     it is flagged.
+//
+// Test files are checked too — stats helpers in tests race with the
+// code under test just as production readers do.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"met/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "flags plain reads/writes of struct fields that are accessed via " +
+		"sync/atomic or declared as sync/atomic types elsewhere",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	parents := analysis.Parents(pass.Files)
+
+	// Pass 1: collect fields used with sync/atomic package functions.
+	atomicByUse := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if fv := fieldVar(pass.TypesInfo, u.X); fv != nil {
+					atomicByUse[fv] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag disallowed uses.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := fieldVar(pass.TypesInfo, sel)
+			if fv == nil {
+				return true
+			}
+			switch {
+			case atomicByUse[fv]:
+				if addressTaken(parents, sel) {
+					return true
+				}
+				// s.f.Load() etc. on an int field cannot occur; any
+				// non-address use of an atomic-by-use field is plain.
+				pass.Reportf(sel.Pos(),
+					"%s of field %s, which is accessed with sync/atomic elsewhere",
+					accessKind(parents, sel), fv.Name())
+			case isAtomicType(fv.Type()):
+				if addressTaken(parents, sel) || methodReceiver(parents, sel) {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"%s field %s used as a plain value; call its methods instead",
+					types.TypeString(fv.Type(), types.RelativeTo(pass.Pkg)), fv.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldVar resolves expr to the struct field it selects, or nil.
+func fieldVar(info *types.Info, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// addressTaken reports whether sel's immediate context is &sel.
+// Taking the address is how atomic access happens (directly in a
+// sync/atomic call, or handed to a helper operating on the pointer),
+// so it is always permitted.
+func addressTaken(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	u, ok := parents[sel].(*ast.UnaryExpr)
+	return ok && u.Op == token.AND
+}
+
+// methodReceiver reports whether sel is the receiver of a method
+// selection (s.f.Load): its parent is a SelectorExpr selecting from
+// it.
+func methodReceiver(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	p, ok := parents[sel].(*ast.SelectorExpr)
+	return ok && p.X == sel
+}
+
+// accessKind distinguishes writes from reads for the diagnostic.
+func accessKind(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) string {
+	switch p := parents[sel].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == ast.Expr(sel) {
+				return "plain write"
+			}
+		}
+	case *ast.IncDecStmt:
+		if p.X == ast.Expr(sel) {
+			return "plain write"
+		}
+	}
+	return "plain read"
+}
+
+// isAtomicType reports whether t is (an instantiation of) one of the
+// sync/atomic value types.
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

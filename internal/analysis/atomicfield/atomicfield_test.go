@@ -1,0 +1,11 @@
+package atomicfield
+
+import (
+	"testing"
+
+	"met/internal/analysis/analysistest"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "atomicfield", Analyzer)
+}

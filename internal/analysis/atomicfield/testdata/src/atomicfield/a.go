@@ -1,0 +1,49 @@
+// Fixture for the atomicfield analyzer.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64 // atomic by use (see inc)
+	misses int64 // atomic by use (see inc)
+	cur    atomic.Int64
+	ptr    atomic.Pointer[int]
+	plain  int64 // never touched atomically
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counters) good() (int64, int64, *int) {
+	h := atomic.LoadInt64(&c.hits)
+	bump(&c.misses) // address handed to a helper: allowed
+	v := c.cur.Load()
+	c.cur.Store(v + 1)
+	c.plain++ // never atomic: no diagnostic
+	return h, v, c.ptr.Load()
+}
+
+func bump(p *int64) { atomic.AddInt64(p, 1) }
+
+func (c *counters) mixed() int64 {
+	x := c.hits  // want `plain read of field hits`
+	c.misses = 0 // want `plain write of field misses`
+	c.hits++     // want `plain write of field hits`
+	return x
+}
+
+func (c *counters) copies() {
+	v := c.cur // want `atomic.Int64 field cur used as a plain value`
+	_ = v
+	p := &c.cur // address taken: allowed
+	p.Add(1)
+}
+
+// The allowlist suppresses exactly one diagnostic.
+func (c *counters) allowlisted() int64 {
+	a := c.hits //lint:allow atomicfield fixture-audited exception
+	b := c.hits // want `plain read of field hits`
+	return a + b
+}

@@ -1,0 +1,11 @@
+package crashpoint
+
+import (
+	"testing"
+
+	"met/internal/analysis/analysistest"
+)
+
+func TestCrashPoint(t *testing.T) {
+	analysistest.Run(t, "crashpoint", Analyzer)
+}

@@ -1,0 +1,29 @@
+// Fixture for the crashpoint analyzer (production half; see
+// a_test.go for the coverage half).
+package crashpoint
+
+type master struct {
+	hook func(point string)
+}
+
+func (m *master) crash(point string) {
+	if m.hook != nil {
+		m.hook(point)
+	}
+}
+
+func (m *master) moveRegion() {
+	m.crash("move.prepared")
+	m.crash("move.committed")
+	m.crash("move.uncovered") // want `crash point "move.uncovered" is not exercised by any test`
+	m.crash("move.prepared")  // want `duplicate crash-point label "move.prepared"`
+}
+
+func (m *master) split(phase string) {
+	m.crash("split." + "daughters-ready") // constant-folded: still auditable
+	m.crash(phase)                        // want `crash-point label must be a constant string`
+}
+
+func (m *master) allowlisted() {
+	m.crash("legacy.no-test") //lint:allow crashpoint fixture-audited legacy label
+}

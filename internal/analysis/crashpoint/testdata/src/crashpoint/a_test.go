@@ -1,0 +1,32 @@
+package crashpoint
+
+import "testing"
+
+func TestMoveCrashPoints(t *testing.T) {
+	m := &master{}
+	var hits []string
+	m.hook = func(p string) { hits = append(hits, p) }
+	m.moveRegion()
+	for _, want := range []string{"move.prepared", "move.committed"} {
+		found := false
+		for _, h := range hits {
+			if h == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("crash point %s not hit", want)
+		}
+	}
+}
+
+func TestSplitCrashPoints(t *testing.T) {
+	m := &master{}
+	seen := map[string]bool{}
+	m.hook = func(p string) { seen[p] = true }
+	// Composed label: the test holds the two halves separately.
+	m.split("split." + "x")
+	if !seen["split"+"."+"daughters-ready"] {
+		t.Error("split.daughters-ready not hit")
+	}
+}

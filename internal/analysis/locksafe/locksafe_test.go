@@ -1,0 +1,16 @@
+package locksafe
+
+import (
+	"testing"
+
+	"met/internal/analysis/analysistest"
+)
+
+func TestLocksafe(t *testing.T) {
+	// Register the fixture's guard types alongside the real ones.
+	for _, g := range []string{"locksafe.Store", "locksafe.WAL"} {
+		Guarded[g] = true
+		defer delete(Guarded, g)
+	}
+	analysistest.Run(t, "locksafe", Analyzer)
+}

@@ -1,0 +1,150 @@
+// Fixture for the locksafe analyzer. The test registers
+// locksafe.Store and locksafe.WAL as guarded types.
+package locksafe
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type Store struct {
+	mu sync.RWMutex
+	n  int
+}
+
+type WAL struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Budget mimics compaction.Budget: WaitBackground is on the
+// blocking-method-name list regardless of receiver type.
+type Budget struct{}
+
+func (b *Budget) WaitBackground(cost int) {}
+
+type merger struct{}
+
+func (merger) CompactFiles() error { return nil }
+func (merger) shipSSTable()        {}
+
+func (s *Store) blockingUnderLock(ch chan int, b *Budget, m merger) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond)      // want `blocking call to time.Sleep while s.mu is held`
+	_ = os.WriteFile("x", nil, 0o644) // want `blocking call to os.WriteFile`
+	ch <- 1                           // want `channel send while s.mu is held`
+	<-ch                              // want `channel receive while s.mu is held`
+	b.WaitBackground(1)               // want `WaitBackground`
+	_ = m.CompactFiles()              // want `CompactFiles`
+	m.shipSSTable()                   // want `shipSSTable`
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // unlocked: no diagnostic
+}
+
+// Deferred unlock holds the span to the end of the function.
+func (s *Store) deferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	time.Sleep(time.Millisecond) // want `blocking call to time.Sleep`
+}
+
+// RLock spans are policed the same way as write locks.
+func (s *Store) readLocked() int {
+	s.mu.RLock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while s.mu is held \(RLock at line`
+	n := s.n
+	s.mu.RUnlock()
+	return n
+}
+
+// An early-return unlock in a branch must not leak: the branch path
+// is unlocked, the fallthrough path stays locked.
+func (s *Store) branchUnlock(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond) // unlocked on this path: no diagnostic
+		return
+	}
+	time.Sleep(time.Millisecond) // want `blocking call to time.Sleep`
+	s.mu.Unlock()
+}
+
+// Multiple guarded locks in one function: spans are tracked per lock
+// expression.
+func twoLocks(s *Store, w *WAL) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // between spans: no diagnostic
+	w.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while w.mu is held`
+	w.mu.Unlock()
+}
+
+// Lock acquired in a helper is OUT OF SCOPE: the analysis is
+// intraprocedural, so the caller's blocking call is not flagged even
+// though the lock is held at runtime. The *Locked naming convention
+// covers these (documented limitation).
+func (s *Store) lockHelper() {
+	s.mu.Lock()
+}
+
+func (s *Store) helperCaller() {
+	s.lockHelper()
+	time.Sleep(time.Millisecond) // intraprocedural: no diagnostic
+	s.mu.Unlock()
+}
+
+// The allowlist annotation suppresses exactly one diagnostic: the
+// identical call on the next line is still reported.
+func (s *Store) allowlisted() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) //lint:allow locksafe fixture-audited exception
+	time.Sleep(time.Millisecond) // want `blocking call to time.Sleep`
+	s.mu.Unlock()
+}
+
+// Non-guarded types may block under their own locks freely.
+type other struct {
+	mu sync.Mutex
+}
+
+func (o *other) fine() {
+	o.mu.Lock()
+	time.Sleep(time.Millisecond) // not a guarded type: no diagnostic
+	o.mu.Unlock()
+}
+
+// select without a default may block; with a default it is a poll.
+func (s *Store) selects(ch chan int) {
+	s.mu.Lock()
+	select { // want `select may block while s.mu is held`
+	case <-ch:
+	}
+	select {
+	case v := <-ch:
+		_ = v
+	default: // non-blocking poll: no diagnostic
+	}
+	s.mu.Unlock()
+}
+
+// WaitGroup waits block.
+func (s *Store) waits(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `blocking call to \(sync.WaitGroup\).Wait`
+	s.mu.Unlock()
+}
+
+// Goroutine bodies start with a fresh lock state.
+func (s *Store) spawns(ch chan int) {
+	s.mu.Lock()
+	go func() {
+		time.Sleep(time.Millisecond) // separate goroutine: no diagnostic
+		ch <- 1                      // separate goroutine: no diagnostic
+	}()
+	s.mu.Unlock()
+}

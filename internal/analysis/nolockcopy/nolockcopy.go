@@ -1,0 +1,119 @@
+// Package nolockcopy forbids moving lock-bearing structs by value
+// through function signatures: parameters, results and receivers
+// whose type (directly or transitively) contains a sync.Mutex,
+// sync.RWMutex or any sync/atomic value type must be pointers.
+//
+// A copied mutex is a fork of the critical section — both copies
+// "work" under test and guard nothing. The engine's convention is the
+// snapshot-struct idiom instead: stats structs copied out of a locked
+// struct contain plain values only (kv.Stats vs kv.storeStats), and
+// this analyzer is what keeps the two from merging back together.
+//
+// Unlike go vet's copylocks, the check is restricted to signatures:
+// it is the API shape being policed here, local copies are vet's job.
+package nolockcopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"met/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nolockcopy",
+	Doc: "flags function signatures (params, results, receivers) that pass " +
+		"structs containing sync.Mutex/RWMutex or sync/atomic types by value",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if recv := sig.Recv(); recv != nil {
+				if lock := lockPath(recv.Type(), nil); lock != "" {
+					pass.Reportf(fd.Recv.List[0].Pos(),
+						"receiver of %s copies a lock: %s", fd.Name.Name, lock)
+				}
+			}
+			checkTuple(pass, fd, sig.Params(), "parameter")
+			checkTuple(pass, fd, sig.Results(), "result")
+		}
+	}
+	return nil
+}
+
+func checkTuple(pass *analysis.Pass, fd *ast.FuncDecl, tuple *types.Tuple, kind string) {
+	for i := 0; i < tuple.Len(); i++ {
+		v := tuple.At(i)
+		if lock := lockPath(v.Type(), nil); lock != "" {
+			pos := v.Pos()
+			if !pos.IsValid() {
+				pos = fd.Pos()
+			}
+			name := v.Name()
+			if name == "" {
+				name = kind
+			}
+			pass.Reportf(pos, "%s %s of %s passes a lock by value: %s",
+				kind, name, fd.Name.Name, lock)
+		}
+	}
+}
+
+// lockPath returns a human-readable path to a lock inside t
+// ("sync.Mutex", "kv.Store contains sync.RWMutex", ...) or "" when t
+// carries no lock by value. Pointers, slices, maps, channels and
+// functions all break the copy, so recursion stops there.
+func lockPath(t types.Type, seen []*types.Named) string {
+	switch u := t.(type) {
+	case *types.Named:
+		for _, s := range seen {
+			if s == u {
+				return ""
+			}
+		}
+		if name := analysis.TypeName(u); isLockType(name) {
+			return name
+		}
+		if inner := lockPath(u.Underlying(), append(seen, u)); inner != "" {
+			return analysis.TypeName(u) + " contains " + inner
+		}
+		return ""
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if inner := lockPath(u.Field(i).Type(), seen); inner != "" {
+				return inner
+			}
+		}
+		return ""
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	default:
+		return ""
+	}
+}
+
+func isLockType(name string) bool {
+	switch name {
+	case "sync.Mutex", "sync.RWMutex", "sync.WaitGroup", "sync.Cond",
+		"sync.Once", "sync.Map", "sync.Pool":
+		return true
+	}
+	switch name {
+	case "sync/atomic.Int32", "sync/atomic.Int64", "sync/atomic.Uint32",
+		"sync/atomic.Uint64", "sync/atomic.Uintptr", "sync/atomic.Bool",
+		"sync/atomic.Value", "sync/atomic.Pointer":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package nolockcopy
+
+import (
+	"testing"
+
+	"met/internal/analysis/analysistest"
+)
+
+func TestNoLockCopy(t *testing.T) {
+	analysistest.Run(t, "nolockcopy", Analyzer)
+}

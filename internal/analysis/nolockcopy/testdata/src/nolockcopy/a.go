@@ -1,0 +1,54 @@
+// Fixture for the nolockcopy analyzer.
+package nolockcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Store struct {
+	mu sync.RWMutex
+	n  int
+}
+
+type stats struct {
+	puts atomic.Int64
+}
+
+// Snapshot is the sanctioned idiom: plain values only, safe to copy.
+type Snapshot struct {
+	N int
+}
+
+type wrapper struct {
+	inner Store // lock nested one level down
+}
+
+func byValueParam(s Store) int { // want `parameter s of byValueParam passes a lock by value`
+	return s.n
+}
+
+func byValueResult() Store { // want `result result of byValueResult passes a lock by value`
+	return Store{}
+}
+
+func nestedParam(w wrapper) int { // want `parameter w of nestedParam passes a lock by value`
+	return w.inner.n
+}
+
+func atomicParam(st stats) int64 { // want `parameter st of atomicParam passes a lock by value`
+	return st.puts.Load()
+}
+
+func (s Store) valueReceiver() int { // want `receiver of valueReceiver copies a lock`
+	return s.n
+}
+
+// Pointers are fine, as are lock-free snapshot structs.
+func pointerParam(s *Store) int        { return s.n }
+func (s *Store) pointerReceiver() int  { return s.n }
+func snapshotResult(s *Store) Snapshot { return Snapshot{N: s.n} }
+func sliceParam(ss []*Store) int       { return len(ss) }
+func allowlisted(s Store) int { //lint:allow nolockcopy fixture-audited exception
+	return s.n
+}

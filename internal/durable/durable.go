@@ -72,6 +72,37 @@
 // is bit-identical to the in-memory backend's blocks. The index and the
 // bloom filter are loaded into memory at open; a Get that the bloom
 // filter rejects performs zero data-block reads.
+//
+// # Static analysis & invariants
+//
+// The durability contract is machine-checked: cmd/metlint (an in-repo
+// go/analysis-style suite, run by CI as `go vet -vettool`) fails the
+// build on violations. The invariants it enforces here:
+//
+//   - syncerr: every error from an fsync-bearing call — WAL.Append,
+//     WAL.Close, RegionLog.Append/Drop, (*os.File).Sync, syncFile,
+//     syncDir — is handled or explicitly allowlisted with a reason. A
+//     dropped sync error is an acknowledged write that may not exist
+//     after a crash, the one lie this package must never tell.
+//   - locksafe: no fsync, file I/O or channel operation while WAL.mu
+//     is held. Group commit depends on this: appends serialize briefly
+//     under the lock, but the fsync every committer waits on runs
+//     outside it, so N writers share one sync instead of queueing N.
+//   - crashpoint: in the hbase layer driving this package, every
+//     crash-injection label (Master.crash, e.g. "snapshot.committed")
+//     is unique and exercised by at least one test — a dangling crash
+//     point is recovery code that nothing proves.
+//
+// Both on-disk parsers above (WAL frames, SSTable footer/index/blocks)
+// are additionally fuzzed in CI with corpora seeded from real encoder
+// output; they must reject any corruption with an error, never a panic
+// or an attacker-sized allocation.
+//
+// The analyzers are intraprocedural (one function body at a time);
+// helpers that lock on behalf of a caller are out of scope by design,
+// so the package keeps each critical section lexically inside the
+// function that takes the lock. Exceptions carry an inline
+// `//lint:allow <analyzer> <reason>` with a mandatory reason.
 package durable
 
 import (

@@ -243,6 +243,15 @@ func openSSTable(path string) (*sstable, error) {
 			return nil, corruptf("sstable %s index length", path)
 		}
 		idxBuf = idxBuf[n:]
+		// Validate the span now so LoadBlock can trust it: a corrupt
+		// length would otherwise size an allocation (and a pread)
+		// straight from disk bytes. Every block lives between the
+		// header and the footer and carries at least a CRC trailer.
+		if length < 4 || off < sstHeaderSize || off > uint64(limit) ||
+			length > uint64(limit)-off {
+			f.Close()
+			return nil, corruptf("sstable %s index span out of bounds", path)
+		}
 		t.index = append(t.index, blockSpan{firstKey: key, off: off, length: length})
 	}
 

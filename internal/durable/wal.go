@@ -619,6 +619,7 @@ func (w *WAL) truncateRegion(region string, upTo uint64) {
 		for _, p := range doomed {
 			_ = walRemoveFile(p)
 		}
+		//lint:allow syncerr truncation is an optimization: a missed dir sync only resurrects removed segments, whose records replay as already-flushed
 		_ = syncDir(w.dir, w.opts.NoSync)
 	}
 }
@@ -842,11 +843,18 @@ func (w *WAL) Close() error {
 	}
 	w.closed = true
 	seq := w.seq
-	err := syncFile(w.active, w.opts.NoSync)
-	if cerr := w.active.Close(); err == nil {
+	f := w.active
+	w.mu.Unlock()
+
+	// The final fsync runs outside w.mu like every other sync round
+	// (locksafe gate): closed fences appendRecord, so the active
+	// handle can no longer rotate out from under us, and a racing
+	// syncActive that sampled the handle earlier already treats a
+	// closed fd as durable because Close fsyncs before closing.
+	err := syncFile(f, w.opts.NoSync)
+	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	w.mu.Unlock()
 
 	c := &w.committer
 	c.mu.Lock()

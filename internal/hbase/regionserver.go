@@ -825,7 +825,7 @@ func (s *RegionServer) Shutdown() {
 		// Release the file handle so a cold start (or a recovery sweep)
 		// owns the directory. The final fsync cannot un-lose anything: a
 		// record was acknowledged only after its own commit round.
-		_ = w.Close()
+		_ = w.Close() //lint:allow syncerr shutdown handle release; acknowledged records were fsynced by their own commit round
 	}
 }
 
@@ -882,6 +882,7 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 		oldWAL = s.wal
 		s.wal = nil
 		if cfg.DataDir != "" {
+			//lint:allow locksafe offline reconfiguration: serving is stopped (running=false) and the exclusive lock over the swap is the point
 			w, err := durable.OpenWAL(serverWALDir(cfg.DataDir, s.name), s.walOptionsLocked())
 			if err != nil {
 				walErr = fmt.Errorf("hbase: restart %s: reopen server wal: %w", s.name, err)
@@ -945,7 +946,7 @@ func (s *RegionServer) Restart(cfg ServerConfig) error {
 		s.notifyReplication(r.Name())
 	}
 	if oldWAL != nil {
-		_ = oldWAL.Close()
+		_ = oldWAL.Close() //lint:allow syncerr handle release: every reopened store already flushed and truncated past the relocated log
 	}
 	s.mu.Lock()
 	s.restarts++

@@ -809,6 +809,24 @@ func TestSnapshotRestoreCrashPoints(t *testing.T) {
 		}
 	})
 
+	t.Run("snapshot-committed", func(t *testing.T) {
+		m, _, dir := setup(t)
+		crashAt(t, m, "snapshot.committed", func() { m.Snapshot("t", "s1") })
+		m2 := reopen(t, m, dir)
+		// The catalog row landed before the crash: the snapshot is
+		// visible, its archive survives the sweep, and it restores.
+		if names, err := m2.Snapshots("t"); err != nil || len(names) != 1 || names[0] != "s1" {
+			t.Fatalf("committed snapshot not listed: %v, %v", names, err)
+		}
+		if _, err := os.Stat(snapshotDir(dir, "t", "s1")); err != nil {
+			t.Fatalf("committed snapshot archive missing: %v", err)
+		}
+		if err := m2.RestoreSnapshot("t", "s1"); err != nil {
+			t.Fatalf("restore of committed snapshot: %v", err)
+		}
+		verifyBase(t, m2, "base")
+	})
+
 	t.Run("restore-uncommitted", func(t *testing.T) {
 		m, c, dir := setup(t)
 		if err := m.Snapshot("t", "s1"); err != nil {

@@ -52,6 +52,12 @@ func DecodeBlock(buf []byte) ([]Entry, error) {
 		return nil, ErrCorrupt
 	}
 	buf = buf[n:]
+	// Each entry takes at least 4 bytes (flags + three 1-byte
+	// varints), so a count beyond the payload size is corruption —
+	// and must not size the allocation below.
+	if count > uint64(len(buf)) {
+		return nil, ErrCorrupt
+	}
 	entries := make([]Entry, 0, count)
 	for i := uint64(0); i < count; i++ {
 		if len(buf) < 1 {

@@ -58,6 +58,35 @@
 // compaction catches up. Without a Compactor the engine keeps its
 // legacy behavior: flushes compact inline under the write lock, which
 // the pure-simulation layers still use.
+//
+// # Static analysis & invariants
+//
+// The concurrency contract above is machine-checked: cmd/metlint (an
+// in-repo go/analysis-style suite, run by CI as `go vet -vettool`)
+// fails the build when code violates it. The invariants it enforces
+// here:
+//
+//   - locksafe: no blocking call (file I/O, fsync, time.Sleep,
+//     Budget.WaitBackground, CompactFiles, ...) and no channel
+//     send/receive while Store.mu is held. This is what keeps Gets
+//     behind a flush or compaction fast — the only waits allowed under
+//     the lock are memory-speed.
+//   - atomicfield: a field accessed through sync/atomic anywhere is
+//     accessed through sync/atomic everywhere; atomic.* typed fields
+//     are never copied or read as plain values. The Stats counters and
+//     the skiplist's published pointers rely on this.
+//   - nolockcopy: no function receives or returns a Store (or anything
+//     embedding a sync primitive) by value.
+//   - syncerr: the error from WAL.Append and StorageBackend.Close is
+//     never silently discarded — dropping it would acknowledge a write
+//     that never became durable.
+//
+// The analyzers are intraprocedural: they see a lock and its critical
+// section within one function body. Helpers that lock on behalf of a
+// caller are outside their scope, which is why the engine keeps
+// lock/unlock pairs and the guarded work in the same function. Real
+// exceptions carry an inline `//lint:allow <analyzer> <reason>`; the
+// reason is mandatory and reviewed, not boilerplate.
 package kv
 
 import (

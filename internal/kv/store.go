@@ -339,7 +339,7 @@ func OpenStore(cfg Config) (*Store, error) {
 	}
 	files, err := backend.Load(s.cfg.BlockBytes)
 	if err != nil {
-		backend.Close()
+		backend.Close() //lint:allow syncerr best-effort cleanup of a failed open; the load error is the one to surface
 		return nil, fmt.Errorf("kv: load files: %w", err)
 	}
 	// Newest first; durable file IDs are minted in increasing order.
@@ -358,7 +358,7 @@ func OpenStore(cfg Config) (*Store, error) {
 	if s.cfg.WAL != nil {
 		entries, err := replayWAL(s.cfg.WAL)
 		if err != nil {
-			backend.Close()
+			backend.Close() //lint:allow syncerr best-effort cleanup of a failed open; the replay error is the one to surface
 			return nil, fmt.Errorf("kv: wal replay: %w", err)
 		}
 		// Records at or below the file stack's clock are already durable
@@ -541,7 +541,7 @@ func (s *Store) mutate(e Entry, counter *atomic.Int64, tr *obs.Trace) error {
 				return fmt.Errorf("kv: wal append: %w", err)
 			}
 			commit = c
-		} else if err := s.cfg.WAL.Append(e); err != nil {
+		} else if err := s.cfg.WAL.Append(e); err != nil { //lint:allow locksafe plain kv.WAL is the in-memory path; durable logs implement GroupWAL and fsync outside the lock via commit()
 			s.mu.Unlock()
 			return fmt.Errorf("kv: wal append: %w", err)
 		}
@@ -628,7 +628,7 @@ func (s *Store) ImportEntries(entries []Entry) error {
 					return fmt.Errorf("kv: wal append: %w", err)
 				}
 				commit = c
-			} else if err := s.cfg.WAL.Append(ne); err != nil {
+			} else if err := s.cfg.WAL.Append(ne); err != nil { //lint:allow locksafe plain kv.WAL is the in-memory path; durable logs implement GroupWAL and fsync outside the lock via commit()
 				s.mu.Unlock()
 				return fmt.Errorf("kv: wal append: %w", err)
 			}
@@ -689,7 +689,7 @@ func (s *Store) ApplyReplayed(entries []Entry) (int, error) {
 					return applied, fmt.Errorf("kv: wal append: %w", err)
 				}
 				commit = c
-			} else if err := s.cfg.WAL.Append(ne); err != nil {
+			} else if err := s.cfg.WAL.Append(ne); err != nil { //lint:allow locksafe plain kv.WAL is the in-memory path; durable logs implement GroupWAL and fsync outside the lock via commit()
 				s.mu.Unlock()
 				return applied, fmt.Errorf("kv: wal append: %w", err)
 			}
@@ -1153,7 +1153,8 @@ func (s *Store) Close() {
 	s.closed = true
 	if s.backend != nil {
 		s.drainRetired(true)
-		_ = s.backend.Close()
+		//lint:allow syncerr the close error is unreportable from a void Close; acknowledged data was fsynced by its own commit round
+		_ = s.backend.Close() //lint:allow locksafe exclusive shutdown: closed=true fences every other path, so nothing can stall behind the final release
 	}
 	s.mu.Unlock()
 	s.releaseStall()
