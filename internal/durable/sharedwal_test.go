@@ -469,3 +469,81 @@ func TestSharedWALReadsV1Segments(t *testing.T) {
 		}
 	}
 }
+
+// Regression: Close used to publish closed and drop w.mu before its
+// final fsync, so a racing commit leader hit syncActive's closed
+// fast-path and acknowledged records as durable inside the pre-fsync
+// window — and when that fsync then failed, the already-credited synced
+// watermark masked the error from waiters. Close now settles the final
+// fsync through the committer leader slot, so a failed final fsync must
+// reach every buffered-commit waiter.
+func TestSharedWALCloseFailedFsyncFailsWaiters(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := w.Region("r")
+	commit, err := h.AppendBuffered(regionEntry("r", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	injected := errors.New("injected close fsync failure")
+	prev := walSyncFile
+	walSyncFile = func(f *os.File, noSync bool) error { return injected }
+	closeErr := w.Close()
+	walSyncFile = prev
+
+	if !errors.Is(closeErr, injected) {
+		t.Fatalf("Close over failing fsync returned %v, want injected error", closeErr)
+	}
+	if err := commit(); !errors.Is(err, injected) {
+		t.Fatalf("commit after failed Close fsync returned %v, want injected error — a nil ack here claims durability no fsync provided", err)
+	}
+}
+
+// Close must wait for an in-flight commit round to settle before it
+// fences the log: the round's acknowledgement then rests on its own
+// fsync having completed, never on a closed fast-path assuming Close
+// already ran one.
+func TestSharedWALCloseWaitsForInflightCommitRound(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := w.Region("r")
+
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var once sync.Once
+	prev := walSyncFile
+	walSyncFile = func(f *os.File, noSync bool) error {
+		once.Do(func() { entered <- struct{}{} })
+		<-release
+		return syncFile(f, noSync)
+	}
+	defer func() { walSyncFile = prev }()
+
+	appendDone := make(chan error, 1)
+	go func() { appendDone <- h.Append(regionEntry("r", 1)) }()
+	<-entered // the commit leader is mid-fsync
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- w.Close() }()
+	select {
+	case err := <-closeDone:
+		t.Fatalf("Close completed (%v) while a commit round was mid-fsync", err)
+	case <-time.After(100 * time.Millisecond):
+		// Close is correctly parked behind the leader slot.
+	}
+
+	close(release)
+	if err := <-appendDone; err != nil {
+		t.Fatalf("append racing Close: %v", err)
+	}
+	if err := <-closeDone; err != nil {
+		t.Fatalf("Close after commit round settled: %v", err)
+	}
+}

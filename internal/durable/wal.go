@@ -511,11 +511,18 @@ func (w *WAL) syncActive() (uint64, error) {
 	}
 	w.mu.Unlock()
 	if closed || f == nil {
-		// Close fsyncs before closing, so everything buffered is durable.
-		if len(regions) > 0 {
-			w.opts.OnSynced(regions)
+		// Unreachable by design: Close claims the committer leader slot
+		// before publishing closed, and only the current leader reaches
+		// this point — so a sync leader can never observe a closed log.
+		// Should the fence ever break, refuse to credit durability for
+		// an fsync that may not have run: put the regions back for the
+		// next round and fail loudly.
+		w.mu.Lock()
+		for _, r := range regions {
+			w.pending[r] = true
 		}
-		return target, nil
+		w.mu.Unlock()
+		return target, ErrClosed
 	}
 	syncStart := time.Now()
 	err := walSyncFile(f, w.opts.NoSync)
@@ -832,37 +839,59 @@ func (w *WAL) SegmentCount() int {
 	return len(w.sealed) + 1
 }
 
-// Close fsyncs and closes the active segment. Pending commit waiters are
-// released successfully — their records are durable after the final
-// fsync.
+// Close fsyncs and closes the active segment. Pending commit waiters
+// are released — successfully when the final fsync succeeded (their
+// records are durable), with the fsync error otherwise.
+//
+// Ordering: Close first claims the committer leader slot, so no commit
+// round is in flight, and only then publishes closed and runs the final
+// fsync. A sync leader therefore can never observe closed == true —
+// doing so would require Close to hold the leader slot the observer
+// itself holds — so no commit round can acknowledge records whose
+// covering fsync has not actually run, and a failed final fsync reaches
+// every waiter instead of being masked by an optimistic synced credit.
 func (w *WAL) Close() error {
+	c := &w.committer
+	c.mu.Lock()
+	for c.leading {
+		c.cond.Wait()
+	}
+	c.leading = true
+	c.mu.Unlock()
+
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
+		c.mu.Lock()
+		c.leading = false
+		c.cond.Broadcast()
+		c.mu.Unlock()
 		return nil
 	}
-	w.closed = true
+	w.closed = true // fences appendRecord: seq is final from here on
 	seq := w.seq
 	f := w.active
 	w.mu.Unlock()
 
 	// The final fsync runs outside w.mu like every other sync round
-	// (locksafe gate): closed fences appendRecord, so the active
-	// handle can no longer rotate out from under us, and a racing
-	// syncActive that sampled the handle earlier already treats a
-	// closed fd as durable because Close fsyncs before closing.
-	err := syncFile(f, w.opts.NoSync)
+	// (locksafe gate). The fd cannot rotate out from under us: rotation
+	// runs under w.mu and appendRecord refuses once closed is set.
+	err := walSyncFile(f, w.opts.NoSync)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 
-	c := &w.committer
 	c.mu.Lock()
-	if err == nil && seq > c.synced {
-		c.synced = seq
-	} else if err != nil && seq > c.failed {
+	c.leading = false
+	if err == nil {
+		if seq > c.synced {
+			c.synced = seq
+		}
+	} else {
 		c.err = err
-		c.failed = seq
+		if seq > c.failed {
+			c.failed = seq
+		}
 	}
 	c.cond.Broadcast()
 	c.mu.Unlock()

@@ -53,9 +53,9 @@ func DecodeBlock(buf []byte) ([]Entry, error) {
 	}
 	buf = buf[n:]
 	// Each entry takes at least 4 bytes (flags + three 1-byte
-	// varints), so a count beyond the payload size is corruption —
-	// and must not size the allocation below.
-	if count > uint64(len(buf)) {
+	// varints), so a count implying more entries than the payload can
+	// hold is corruption — and must not size the allocation below.
+	if count > uint64(len(buf))/4 {
 		return nil, ErrCorrupt
 	}
 	entries := make([]Entry, 0, count)
