@@ -7,6 +7,12 @@
 //
 //	metbench -workload A|B|C|D|E|F|tpcc [-servers 3] [-ops 20000] [-records 5000]
 //	         [-concurrency 8] [-met] [-durable DIR] [-json out.json] [-coldstart]
+//	         [-procs N [-failover]]
+//
+// With -procs N the bootstrapped durable cluster is restarted as 1
+// master + N region-server OS processes (the metnode binary) and the
+// load runs over the networked RPC client; -failover additionally
+// kill -9s workers and proves the recovery loss bounds (see procs.go).
 //
 // With -concurrency N > 1 the YCSB operations are fanned across N
 // goroutines the way real YCSB drives HBase with a client thread pool,
@@ -87,6 +93,21 @@ type result struct {
 	LostWritesUnflushed int64         `json:"lost_writes_unflushed,omitempty"`
 	WAL                 *walState     `json:"wal,omitempty"`
 	Cluster             []serverState `json:"cluster"`
+	// Procs records the real OS processes a -procs run drove (CI
+	// asserts the multi-process claim against the PIDs).
+	Procs *procState `json:"procs,omitempty"`
+}
+
+// writeResultJSON emits one machine-readable report file.
+func writeResultJSON(path string, res *result) {
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("results written to %s\n", path)
 }
 
 // walState summarizes the cluster's shared write-ahead logs: the
@@ -230,6 +251,10 @@ func main() {
 		"sustained write-heavy scenario: workload B (100% update), bigger values and a tiny heap so flushes, background compactions and write stalls actually happen during the run")
 	coldstart := flag.Bool("coldstart", false,
 		"cold-start scenario (requires -durable): write acknowledged rows across two tables, move a region, hard-stop the whole cluster mid-run, reopen it from the data directory alone (met.OpenCluster) and verify every acknowledged write plus the recovered layout")
+	procs := flag.Int("procs", 0,
+		"networked multi-process scenario (requires -durable): restart the bootstrapped cluster as 1 master + N region-server OS processes (metnode) over the RPC layer and drive load through the networked client; with -failover additionally kill -9 workers and prove the loss bounds")
+	nodeBin := flag.String("node-bin", "", "path to the metnode binary for -procs (default: next to metbench, then $PATH)")
+	tailLag := flag.Int("tail-lag", 64, "tail-shipping floor in records for -procs (bounds mid-burst kill loss)")
 	failover := flag.Bool("failover", false,
 		"failover scenario (requires -durable): 3+ servers with replication factor 2, write acknowledged rows, cleanly flush and quiesce replication, hard-kill one server AND rename its primary region directories away, Master.RecoverServer from the replica SSTables alone, verify zero reported loss and every acknowledged row")
 	maxFiles := flag.Int("max-store-files", 0, "soft store-file threshold triggering background compaction (0 = default)")
@@ -284,6 +309,13 @@ func main() {
 			log.Fatal("metbench: -coldstart requires -durable DIR")
 		}
 		runColdStart(*durableDir, cfg, *servers, *ops, *seed, *jsonOut)
+		return
+	}
+	if *procs > 0 {
+		if *durableDir == "" {
+			log.Fatal("metbench: -procs requires -durable DIR")
+		}
+		runProcs(*durableDir, cfg, *procs, *ops, *seed, *nodeBin, *failover, *tailLag, *jsonOut)
 		return
 	}
 	if *failover {

@@ -1,0 +1,390 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"met"
+	"met/internal/hbase"
+	"met/internal/rpc"
+	"met/internal/sim"
+)
+
+// procState records the real OS processes a -procs run drove, for the
+// JSON report (CI asserts the count).
+type procState struct {
+	MasterPID  int            `json:"master_pid"`
+	WorkerPIDs map[string]int `json:"worker_pids"`
+	Killed     []string       `json:"killed,omitempty"`
+}
+
+// child is one spawned metnode process.
+type child struct {
+	name string
+	cmd  *exec.Cmd
+	addr string
+	done chan error // closed by the reaper with the exit status
+}
+
+// spawn starts one metnode and reaps it on exit so kills never leave
+// zombies behind.
+func spawn(bin string, args ...string) *child {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("metbench: spawn %s %v: %v", bin, args, err)
+	}
+	c := &child{cmd: cmd, done: make(chan error, 1)}
+	go func() { c.done <- cmd.Wait() }()
+	return c
+}
+
+// kill9 delivers an un-catchable SIGKILL — the real process-death the
+// failover path exists for — and waits for the corpse to be reaped.
+func (c *child) kill9() {
+	_ = c.cmd.Process.Kill()
+	<-c.done
+}
+
+// terminate asks for a graceful drain and waits briefly.
+func (c *child) terminate() {
+	_ = c.cmd.Process.Signal(os.Interrupt)
+	select {
+	case <-c.done:
+	case <-time.After(15 * time.Second):
+		_ = c.cmd.Process.Kill()
+		<-c.done
+	}
+}
+
+// waitAddrFile polls for a metnode's published address.
+func waitAddrFile(path string) string {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(path); err == nil {
+			return strings.TrimSpace(string(b))
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("metbench: timed out waiting for %s", path)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// waitReady polls a node's readiness probe.
+func waitReady(addr string) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("metbench: %s never became ready", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// findNodeBin resolves the metnode binary: an explicit -node-bin, a
+// sibling of this executable, or $PATH.
+func findNodeBin(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	if self, err := os.Executable(); err == nil {
+		sib := filepath.Join(filepath.Dir(self), "metnode")
+		if _, err := os.Stat(sib); err == nil {
+			return sib
+		}
+	}
+	if p, err := exec.LookPath("metnode"); err == nil {
+		return p
+	}
+	log.Fatal("metbench: -procs needs the metnode binary (build cmd/metnode and pass -node-bin, or put it next to metbench)")
+	return ""
+}
+
+// runProcs is the networked multi-process scenario: bootstrap a durable
+// cluster in this process, stop it, and restart it as 1 + N real OS
+// processes (metnode master + metnode servers) over the RPC layer. The
+// bench drives acknowledged writes through the networked client, then
+// (with -failover) proves the loss bounds against real process death:
+//
+//   - Phase A: quiesce replication, kill -9 one worker, quarantine its
+//     primary directories AND its WAL (its disk died with it), recover
+//     through the master process. Loss must be exactly zero.
+//   - Phase B: write a burst and kill -9 a second worker mid-burst with
+//     no quiesce. Loss must be bounded by the configured tail-shipping
+//     floor: <= 2*tailLag records per dead region.
+//
+// Any violation exits non-zero, so CI runs this as a per-PR gate.
+func runProcs(dataDir string, cfg met.ServerConfig, servers, ops int, seed uint64,
+	nodeBin string, doFailover bool, tailLag int, jsonOut string) {
+	if servers < 3 {
+		fmt.Fprintln(os.Stderr, "metbench: -procs raises -servers to 3 (a victim needs two survivors)")
+		servers = 3
+	}
+	nodeBin = findNodeBin(nodeBin)
+	// Small heap so flushes ship real SSTables at bench volumes; the
+	// tail floor bounds what the SSTables don't cover. Both land in the
+	// catalog and come back to every worker through its manifest.
+	cfg.HeapBytes = 1 << 20
+	cfg.TailShipMaxLagRecords = tailLag
+	cfg.TailShipMaxLagInterval = 50 * time.Millisecond
+
+	// Bootstrap in-process: committed membership, tables, nothing else.
+	cluster, err := met.NewClusterConfig(servers, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables := []string{"orders", "users"}
+	splits := map[string][]string{"users": {"g", "p"}, "orders": {"m"}}
+	for _, tn := range tables {
+		if _, err := cluster.Master.CreateTable(tn, splits[tn]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var names []string
+	for _, rs := range cluster.Master.Servers() {
+		names = append(names, rs.Name())
+	}
+	cluster.Master.HardStop()
+
+	// Restart as real processes.
+	runDir := filepath.Join(dataDir, "run")
+	if err := os.MkdirAll(runDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("procs: starting 1 master + %d server processes (%s)...\n", servers, nodeBin)
+	masterFile := filepath.Join(runDir, "master.addr")
+	masterProc := spawn(nodeBin, "-role", "master", "-data", dataDir, "-addr-file", masterFile)
+	masterAddr := waitAddrFile(masterFile)
+	workers := make(map[string]*child, len(names))
+	for _, name := range names {
+		f := filepath.Join(runDir, name+".addr")
+		workers[name] = spawn(nodeBin, "-role", "server", "-name", name,
+			"-master", masterAddr, "-addr-file", f)
+		workers[name].name = name
+	}
+	for _, name := range names {
+		workers[name].addr = waitAddrFile(filepath.Join(runDir, name+".addr"))
+		waitReady(workers[name].addr)
+	}
+	defer func() {
+		for _, w := range workers {
+			if w != nil {
+				_ = w.cmd.Process.Kill()
+			}
+		}
+		masterProc.terminate()
+	}()
+	procs := &procState{MasterPID: masterProc.cmd.Process.Pid, WorkerPIDs: map[string]int{}}
+	for name, w := range workers {
+		procs.WorkerPIDs[name] = w.cmd.Process.Pid
+	}
+	fmt.Printf("procs: cluster up — master pid %d, workers %v\n", procs.MasterPID, procs.WorkerPIDs)
+
+	c, err := rpc.Dial(masterAddr)
+	if err != nil {
+		log.Fatalf("metbench: dial master: %v", err)
+	}
+	rng := sim.NewRNG(seed)
+	acked := make(map[string]map[string]string, len(tables))
+	for _, tn := range tables {
+		acked[tn] = make(map[string]string)
+	}
+	write := func(n int, tag string) {
+		for i := 0; i < n; i++ {
+			tn := tables[rng.Intn(len(tables))]
+			key := fmt.Sprintf("%c%07x", byte('a'+rng.Intn(26)), rng.Uint64()&0xfffffff)
+			val := fmt.Sprintf("%s/%s/%s%d", tn, key, tag, i)
+			if err := c.Put(tn, key, []byte(val)); err != nil {
+				log.Fatalf("metbench: procs put %s/%s: %v", tn, key, err)
+			}
+			acked[tn][key] = val
+		}
+	}
+	verify := func(phase string) int {
+		missing := 0
+		for tn, rows := range acked {
+			for k, want := range rows {
+				v, err := c.Get(tn, k)
+				if err != nil || string(v) != want {
+					missing++
+				}
+			}
+		}
+		fmt.Printf("procs: %s — %d acked rows, %d missing\n", phase, ackedCount(acked), missing)
+		return missing
+	}
+
+	fmt.Printf("procs: writing %d rows over RPC across %d worker processes...\n", ops, servers)
+	write(ops, "v")
+	if miss := verify("after load"); miss != 0 {
+		log.Fatalf("metbench: procs lost %d rows with every process alive", miss)
+	}
+
+	if !doFailover {
+		fmt.Printf("procs: OK — %d rows via %d processes\n", ackedCount(acked), servers+1)
+		writeProcsResult(jsonOut, ops, servers, procs, 0, 0, acked)
+		return
+	}
+
+	// Phase A: quiesced kill. After the replication barrier the replicas
+	// (SSTables + shipped WAL tail) cover every acknowledged write, so a
+	// process death plus total disk loss must cost nothing.
+	if err := c.Quiesce(); err != nil {
+		log.Fatalf("metbench: procs quiesce: %v", err)
+	}
+	victim := victimOf(c, "")
+	fmt.Printf("procs: phase A — kill -9 %s (pid %d) after quiesce, quarantining its disk...\n",
+		victim, workers[victim].cmd.Process.Pid)
+	workers[victim].kill9()
+	quarantineProc(c, dataDir, victim)
+	workers[victim] = nil
+	procs.Killed = append(procs.Killed, victim)
+	replyA, err := c.Recover(victim)
+	if err != nil {
+		log.Fatalf("metbench: procs recover %s: %v", victim, err)
+	}
+	for _, rr := range replyA.Regions {
+		fmt.Printf("procs: %s -> %s on %s (%d replica SSTables, %d tail records)\n",
+			rr.Spec.Region, rr.Spec.NewRegion, rr.Spec.Source, rr.Report.ReplicaFiles, rr.Report.TailWrites)
+	}
+	if miss := verify("after quiesced kill"); miss != 0 {
+		log.Fatalf("metbench: procs phase A lost %d acknowledged writes after a quiesce — must be exactly zero", miss)
+	}
+
+	// Phase B: mid-burst kill, no quiesce. The tail floor is the only
+	// bound: each dead region may lose at most ~2*tailLag acknowledged
+	// records (one floor window in flight plus one accruing).
+	hotOps := ops
+	fmt.Printf("procs: phase B — %d-row burst, then kill -9 mid-burst with no quiesce...\n", hotOps)
+	write(hotOps, "hot")
+	victim2 := victimOf(c, victim)
+	deadRegions := regionsOn(c, victim2)
+	fmt.Printf("procs: kill -9 %s (pid %d, %d regions), quarantining its disk...\n",
+		victim2, workers[victim2].cmd.Process.Pid, deadRegions)
+	workers[victim2].kill9()
+	quarantineProc(c, dataDir, victim2)
+	workers[victim2] = nil
+	procs.Killed = append(procs.Killed, victim2)
+	replyB, err := c.Recover(victim2)
+	if err != nil {
+		log.Fatalf("metbench: procs recover %s: %v", victim2, err)
+	}
+	for _, rr := range replyB.Regions {
+		fmt.Printf("procs: %s -> %s on %s (%d replica SSTables, %d tail records, recovered ts %d)\n",
+			rr.Spec.Region, rr.Spec.NewRegion, rr.Spec.Source,
+			rr.Report.ReplicaFiles, rr.Report.TailWrites, rr.Report.RecoveredTS)
+	}
+	missing := verify("after mid-burst kill")
+	bound := 2 * tailLag * deadRegions
+	if missing > bound {
+		log.Fatalf("metbench: procs phase B lost %d acknowledged writes; the tail floor bounds loss to %d (2*%d records x %d regions)",
+			missing, bound, tailLag, deadRegions)
+	}
+	// The cluster keeps serving on the survivors.
+	if err := c.Put("users", "zz-post-failover", []byte("alive")); err != nil {
+		log.Fatalf("metbench: procs cluster dead after recovery: %v", err)
+	}
+	fmt.Printf("procs: OK — quiesced kill lost 0, mid-burst kill lost %d <= %d bound, %d processes driven, 2 killed\n",
+		missing, bound, servers+1)
+	writeProcsResult(jsonOut, ops, servers, procs, 0, missing, acked)
+}
+
+// ackedCount sums the acknowledged-row map.
+func ackedCount(acked map[string]map[string]string) int {
+	n := 0
+	for _, rows := range acked {
+		n += len(rows)
+	}
+	return n
+}
+
+// victimOf picks the live worker hosting the most regions (skipping an
+// already-dead one), from the client's view of the layout.
+func victimOf(c *rpc.Client, dead string) string {
+	if err := c.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, r := range c.Regions() {
+		if r.Server != dead {
+			counts[r.Server]++
+		}
+	}
+	victim, best := "", -1
+	for s, n := range counts {
+		if n > best || (n == best && s < victim) {
+			victim, best = s, n
+		}
+	}
+	if victim == "" {
+		log.Fatal("metbench: no live worker to kill")
+	}
+	return victim
+}
+
+// regionsOn counts the regions the layout places on one worker.
+func regionsOn(c *rpc.Client, server string) int {
+	n := 0
+	for _, r := range c.Regions() {
+		if r.Server == server {
+			n++
+		}
+	}
+	return n
+}
+
+// quarantineProc renames a dead worker's primary region directories and
+// WAL away — its disk died with the process — so recovery provably
+// runs from the surviving replicas alone.
+func quarantineProc(c *rpc.Client, dataDir, dead string) {
+	for _, r := range c.Regions() {
+		if r.Server != dead {
+			continue
+		}
+		dir := hbase.RegionDataDir(dataDir, r.Name)
+		if _, err := os.Stat(dir); err == nil {
+			if err := os.Rename(dir, dir+".quarantine"); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	w := hbase.ServerWALDir(dataDir, dead)
+	if _, err := os.Stat(w); err == nil {
+		if err := os.Rename(w, w+".quarantine"); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeProcsResult emits the machine-readable report.
+func writeProcsResult(jsonOut string, ops, servers int, procs *procState,
+	lostQuiesced, lostBurst int, acked map[string]map[string]string) {
+	if jsonOut == "" {
+		return
+	}
+	res := &result{
+		Workload: "procs", Ops: ops, Servers: servers, Durable: true,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Completed:           int64(ackedCount(acked)),
+		LostWrites:          int64(lostQuiesced),
+		LostWritesUnflushed: int64(lostBurst),
+		Procs:               procs,
+	}
+	writeResultJSON(jsonOut, res)
+}

@@ -49,6 +49,13 @@ var Guarded = map[string]bool{
 	"met/internal/kv.Store":           true,
 	"met/internal/durable.WAL":        true,
 	"met/internal/hbase.RegionServer": true,
+
+	// RPC-layer locks guard routing caches and address books that the
+	// serving path reads on every request: a network call inside one
+	// stalls every concurrent RPC behind one slow peer.
+	"met/internal/rpc.Server":     true,
+	"met/internal/rpc.Client":     true,
+	"met/internal/rpc.MasterNode": true,
 }
 
 // BlockingFuncs maps fully-qualified functions, methods and
@@ -72,6 +79,19 @@ var BlockingFuncs = map[string]bool{
 	"(os.File).Truncate": true,
 
 	"(sync.WaitGroup).Wait": true,
+
+	// Network I/O: connect/accept/read/write all block on the peer, and
+	// an HTTP round trip blocks on the whole remote handler. Writing a
+	// response counts too — the client may be slow to drain it.
+	"net.Listen": true, "net.Dial": true, "net.DialTimeout": true,
+	"(net.Conn).Read": true, "(net.Conn).Write": true,
+	"(net.Listener).Accept": true,
+	"(net/http.Client).Do":  true, "(net/http.Client).Get": true,
+	"(net/http.Client).Post": true, "(net/http.Client).PostForm": true,
+	"net/http.Get": true, "net/http.Post": true,
+	"(net/http.Server).Serve": true, "(net/http.Server).ListenAndServe": true,
+	"(net/http.Server).Shutdown":      true,
+	"(net/http.ResponseWriter).Write": true,
 
 	// Engine-internal blocking entry points. WAL appends are on the
 	// list because the guarded locks must never nest over a log

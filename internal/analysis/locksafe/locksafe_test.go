@@ -8,7 +8,8 @@ import (
 
 func TestLocksafe(t *testing.T) {
 	// Register the fixture's guard types alongside the real ones.
-	for _, g := range []string{"locksafe.Store", "locksafe.WAL"} {
+	// locksafe.Server stands in for the rpc-layer guarded types.
+	for _, g := range []string{"locksafe.Store", "locksafe.WAL", "locksafe.Server"} {
 		Guarded[g] = true
 		defer delete(Guarded, g)
 	}

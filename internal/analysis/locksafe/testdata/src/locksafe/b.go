@@ -1,0 +1,57 @@
+// Fixture for the RPC-layer additions: network I/O under a guarded
+// lock. The test registers locksafe.Server as a guarded type, standing
+// in for met/internal/rpc.Server / Client / MasterNode.
+package locksafe
+
+import (
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Server mimics rpc.Server: mu guards an address book the serving path
+// reads on every request.
+type Server struct {
+	mu    sync.Mutex
+	addrs map[string]string
+}
+
+// Network calls under the routing lock stall every concurrent RPC
+// behind one slow peer.
+func (s *Server) netUnderLock(conn net.Conn, hc *http.Client, req *http.Request) {
+	s.mu.Lock()
+	_, _ = conn.Read(make([]byte, 1)) // want `blocking call to \(net.Conn\).Read`
+	_, _ = conn.Write([]byte("x"))    // want `blocking call to \(net.Conn\).Write`
+	_, _ = hc.Do(req)                 // want `blocking call to \(net/http.Client\).Do`
+	_, _ = http.Get("http://x/")      // want `blocking call to net/http.Get`
+	_, _ = net.Listen("tcp", ":0")    // want `blocking call to net.Listen`
+	s.mu.Unlock()
+}
+
+// A response writer is a network sink too: the client may drain it
+// arbitrarily slowly.
+func (s *Server) replyUnderLock(w http.ResponseWriter) {
+	s.mu.Lock()
+	_, _ = w.Write([]byte("ok")) // want `blocking call to \(net/http.ResponseWriter\).Write`
+	s.mu.Unlock()
+}
+
+// The right shape: snapshot the book under the lock, talk to the
+// network after releasing it.
+func (s *Server) snapshotThenCall(hc *http.Client, req *http.Request) {
+	s.mu.Lock()
+	addrs := make(map[string]string, len(s.addrs))
+	for k, v := range s.addrs {
+		addrs[k] = v
+	}
+	s.mu.Unlock()
+	_, _ = hc.Do(req) // unlocked: no diagnostic
+}
+
+// Audited exception: a single farewell write on the drain path, where
+// no serving traffic can queue behind the lock anymore.
+func (s *Server) drainFarewell(conn net.Conn) {
+	s.mu.Lock()
+	_, _ = conn.Write([]byte("bye")) //lint:allow locksafe drain-path farewell; runs once at shutdown with serving already stopped
+	s.mu.Unlock()
+}

@@ -155,13 +155,15 @@ type Options struct {
 	// (the same records sit in the memstores).
 	KeepTail bool
 	// OnSynced, when non-nil, is called after each successful
-	// commit-path fsync with the regions whose records gained coverage —
-	// the replicator's cue that fresh tail is shippable. Called without
+	// commit-path fsync with the regions whose records gained coverage
+	// and how many records each contributed since the previous good
+	// round — the replicator's cue that fresh tail is shippable, and the
+	// record counts its bounded-lag floor accumulates. Called without
 	// internal locks held; it must not block for long (it runs on a
 	// committing writer's goroutine). Rotation-covered records are
 	// reported with the next fsync, so a quiesce must reconcile
 	// explicitly rather than wait for a callback.
-	OnSynced func(regions []string)
+	OnSynced func(regions map[string]int)
 }
 
 func (o Options) withDefaults() Options {

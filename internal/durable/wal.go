@@ -125,7 +125,7 @@ type WAL struct {
 
 	flushed map[string]uint64 // per-region flushed high-water marks
 	dropped map[string]bool   // regions whose records a drop marker voids
-	pending map[string]bool   // regions appended since the last good fsync
+	pending map[string]int    // records appended per region since the last good fsync
 	tail    []tailRec         // synced-but-unflushed records (KeepTail)
 
 	// bytesAppended counts physical log bytes (frames + segment
@@ -170,7 +170,7 @@ func OpenWAL(dir string, opts Options) (*WAL, error) {
 		opts:    opts,
 		flushed: make(map[string]uint64),
 		dropped: make(map[string]bool),
-		pending: make(map[string]bool),
+		pending: make(map[string]int),
 	}
 	w.committer.cond = sync.NewCond(&w.committer.mu)
 
@@ -413,7 +413,7 @@ func (w *WAL) appendRecord(region string, e kv.Entry, drop bool) (func() error, 
 			w.tail = append(w.tail, tailRec{seq: seq, region: region, e: cp})
 		}
 	}
-	w.pending[region] = true
+	w.pending[region]++
 	w.mu.Unlock()
 	return func() error { return w.commitTo(seq) }, nil
 }
@@ -501,13 +501,10 @@ func (w *WAL) syncActive() (uint64, error) {
 	f := w.active
 	target := w.seq
 	closed := w.closed
-	var regions []string
+	var regions map[string]int
 	if w.opts.OnSynced != nil && len(w.pending) > 0 {
-		regions = make([]string, 0, len(w.pending))
-		for r := range w.pending {
-			regions = append(regions, r)
-		}
-		w.pending = make(map[string]bool)
+		regions = w.pending
+		w.pending = make(map[string]int)
 	}
 	w.mu.Unlock()
 	if closed || f == nil {
@@ -518,8 +515,8 @@ func (w *WAL) syncActive() (uint64, error) {
 		// an fsync that may not have run: put the regions back for the
 		// next round and fail loudly.
 		w.mu.Lock()
-		for _, r := range regions {
-			w.pending[r] = true
+		for r, n := range regions {
+			w.pending[r] += n
 		}
 		w.mu.Unlock()
 		return target, ErrClosed
@@ -535,8 +532,8 @@ func (w *WAL) syncActive() (uint64, error) {
 		// The round covered nothing: don't count it, and put the regions
 		// back so the next successful round reports them.
 		w.mu.Lock()
-		for _, r := range regions {
-			w.pending[r] = true
+		for r, n := range regions {
+			w.pending[r] += n
 		}
 		w.mu.Unlock()
 		return target, err
@@ -586,18 +583,10 @@ func (w *WAL) dropTailLocked(region string, upTo uint64) {
 }
 
 // truncateRegion raises region's flushed high-water mark to upTo and
-// deletes every segment no region still needs. Entries <= upTo are
-// durable elsewhere (a flushed SSTable), so a segment whose per-region
-// maxima are all covered is deleted whole — no rewriting. Deletable
-// segments are taken strictly oldest-first (a prefix): a drop marker
-// voids records in *earlier* segments, so a marker's segment must
-// outlive them on disk or a crash could resurrect what it voided.
-//
-// The unlink and directory sync run after the lock is released —
-// directory I/O on a slow filesystem must not stall concurrent appends
-// (every flush truncates, so this is a hot path).
+// runs a reclamation sweep. Entries <= upTo are durable elsewhere (a
+// flushed SSTable), so segments whose per-region maxima are all covered
+// can be deleted whole — no rewriting.
 func (w *WAL) truncateRegion(region string, upTo uint64) {
-	var doomed []string
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -607,10 +596,31 @@ func (w *WAL) truncateRegion(region string, upTo uint64) {
 		w.flushed[region] = upTo
 	}
 	w.dropTailLocked(region, upTo)
+	w.mu.Unlock()
+	w.sweep()
+}
+
+// sweep is the segment-reclamation pass shared by truncation and
+// DropAbsent: seal the active segment if everything in it is covered,
+// then delete the covered prefix of sealed segments. Deletable segments
+// are taken strictly oldest-first (a prefix): a drop marker voids
+// records in *earlier* segments, so a marker's segment must outlive
+// them on disk or a crash could resurrect what it voided.
+//
+// The unlink and directory sync run after the lock is released —
+// directory I/O on a slow filesystem must not stall concurrent appends
+// (every flush truncates, so this is a hot path).
+func (w *WAL) sweep() {
+	var doomed []string
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
 	if w.activeCount > 0 && w.activeCoveredLocked() {
 		if err := w.rotateLocked(); err != nil {
 			w.mu.Unlock()
-			return // keep the data; truncation is only an optimization
+			return // keep the data; reclamation is only an optimization
 		}
 	}
 	cut := 0
@@ -629,6 +639,66 @@ func (w *WAL) truncateRegion(region string, upTo uint64) {
 		//lint:allow syncerr truncation is an optimization: a missed dir sync only resurrects removed segments, whose records replay as already-flushed
 		_ = syncDir(w.dir, w.opts.NoSync)
 	}
+}
+
+// DropAbsent durably voids the records of every region present in the
+// log but absent from live, then sweeps reclaimable segments. It closes
+// a cold-start leak: a region that moved away before the last shutdown
+// left records in this server's log, and since the region never
+// re-registers here after a restart its flush clock never advances —
+// without a drop marker those records pin their segments forever.
+// OpenCluster calls this once per revived server, after every region
+// the catalog assigns to it has been reopened.
+//
+// Markers append to the active (newest) segment, and the sweep deletes
+// covered segments strictly oldest-first, so a marker always outlives
+// the records it voids. Returns the region names dropped (sorted).
+func (w *WAL) DropAbsent(live map[string]bool) ([]string, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, ErrClosed
+	}
+	present := make(map[string]bool)
+	for i := range w.sealed {
+		for region := range w.sealed[i].maxTS {
+			present[region] = true
+		}
+	}
+	for region := range w.activeMaxTS {
+		present[region] = true
+	}
+	for _, rec := range w.tail {
+		present[rec.region] = true
+	}
+	var orphans []string
+	for region := range present {
+		// "" is the legacy single-store mode's region name — never a
+		// catalog-registered region, never an orphan.
+		if region == "" || live[region] || w.dropped[region] {
+			continue
+		}
+		orphans = append(orphans, region)
+	}
+	w.mu.Unlock()
+	if len(orphans) == 0 {
+		return nil, nil
+	}
+	sort.Strings(orphans)
+	var last func() error
+	for _, region := range orphans {
+		commit, err := w.appendRecord(region, kv.Entry{}, true)
+		if err != nil {
+			return nil, err
+		}
+		last = commit
+	}
+	// One group commit covers every marker buffered above.
+	if err := last(); err != nil {
+		return nil, err
+	}
+	w.sweep()
+	return orphans, nil
 }
 
 // Truncate implements kv.WAL in legacy single-store mode.

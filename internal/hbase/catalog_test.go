@@ -31,6 +31,10 @@ func newCatalogCluster(t *testing.T, n int, dataDir string, cfg ServerConfig) (*
 			t.Fatal(err)
 		}
 	}
+	// Replicators keep shipping after the last Put; stop the servers
+	// before the temp dir is reclaimed or RemoveAll races a tail ship.
+	// (Tests that HardStop themselves are fine: Shutdown is idempotent.)
+	t.Cleanup(m.HardStop)
 	return m, NewClient(m)
 }
 

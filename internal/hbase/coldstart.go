@@ -124,6 +124,20 @@ func OpenCluster(dataDir string) (*Master, error) {
 		m.mu.Unlock()
 	}
 
+	// Every catalog-assigned region is now open; whatever other region
+	// names a server's reopened log still holds (regions that moved away
+	// before the stop) will never re-register there. Drop them now, or
+	// their records pin the revived server's old segments — and sit in
+	// its shippable tail — until a flush cycle that may never come.
+	for _, sn := range serverNames {
+		m.mu.RLock()
+		rs := m.servers[sn]
+		m.mu.RUnlock()
+		if _, err := rs.ReclaimOrphanWALRecords(); err != nil {
+			return fail(fmt.Errorf("hbase: cold start: reclaim orphan wal records on %q: %w", sn, err))
+		}
+	}
+
 	sweepOrphanRegions(dataDir, live)
 	sweepOrphanReplicas(dataDir, live, func(server string) bool {
 		_, ok := servers[server]
@@ -243,5 +257,17 @@ func sweepOrphanSnapshots(dataDir string, snapshots map[string]snapshotRow) {
 func (m *Master) HardStop() {
 	for _, rs := range m.Servers() {
 		rs.Shutdown()
+	}
+	// Release the META store too: every catalog commit was fsynced when
+	// it was acknowledged, so closing changes nothing about what a cold
+	// start recovers — but it lets the next owner (OpenCluster here, or
+	// a layout-master process over the same DataDir) open the catalog
+	// without sharing a live WAL handle.
+	m.mu.Lock()
+	cat := m.catalog
+	m.catalog = nil
+	m.mu.Unlock()
+	if cat != nil {
+		cat.close()
 	}
 }

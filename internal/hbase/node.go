@@ -1,0 +1,592 @@
+package hbase
+
+// The multi-process node surface: what met/internal/rpc and cmd/metnode
+// build a networked cluster from. In-process, one Master object owns
+// the catalog AND every RegionServer; across processes that splits into
+//
+//   - a layout master (LayoutMaster): the catalog's exclusive owner —
+//     the META store is itself a durable kv.Store with a WAL, so
+//     exactly one process may open it. It holds no region stores at
+//     all: it loads the committed layout, hands each worker its
+//     manifest, routes clients, and orchestrates failover. Layout
+//     changes bump an in-memory routing epoch clients use to detect
+//     stale route caches.
+//   - worker nodes: one process per region server, opened with
+//     OpenServerNode from the manifest the master hands out. A worker
+//     owns its shared WAL and region stores exclusively (directories
+//     are keyed by server and region name, so workers never collide on
+//     disk) and serves Get/Put/Delete/Scan directly.
+//
+// Failover splits the same way RecoverServer does in-process, at the
+// same commit points: the master plans the recovery (PlanRecovery picks
+// each dead region's best replica by scanning the shipped copies on the
+// shared disk — reading files is safe, only store/WAL *ownership* is
+// exclusive), the chosen workers adopt their regions from the replica
+// copies (RegionServer.AdoptRegion — the worker-side middle of
+// recoverRegion), and the master commits the new layout
+// (CommitRecovery: table rows, then the membership delete, then
+// directory reclaim). A crash mid-way cold-starts the partially
+// recovered layout, exactly like the in-process path, and the recovery
+// can be re-run.
+//
+// Loss accounting differs from RecoverServer by necessity: a real
+// process kill takes the dead server's in-memory clocks with it, so
+// there is no deadTS to subtract. AdoptionReport carries RecoveredTS
+// (the adopted store's clock — dense, one tick per mutation) and the
+// caller measures loss against what it acknowledged, which is how the
+// metbench failover gate does its accounting.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"met/internal/durable"
+	"met/internal/hdfs"
+	"met/internal/replication"
+)
+
+// LayoutRegion is one region's row in the layout a LayoutMaster serves:
+// everything a client needs to route (bounds, host) and everything a
+// worker needs to open it (name, table, followers).
+type LayoutRegion struct {
+	Name      string   `json:"name"`
+	Table     string   `json:"table"`
+	Start     string   `json:"start"`
+	End       string   `json:"end,omitempty"`
+	Server    string   `json:"server"`
+	Followers []string `json:"followers,omitempty"`
+}
+
+// NodeManifest is what a worker needs to open its slice of the cluster.
+type NodeManifest struct {
+	Server      string         `json:"server"`
+	Config      ServerConfig   `json:"config"`
+	Replication int            `json:"replication"`
+	Regions     []LayoutRegion `json:"regions"`
+	Epoch       int64          `json:"epoch"`
+}
+
+// AdoptSpec tells a worker to fail a dead region over onto itself.
+type AdoptSpec struct {
+	// Region is the dead region's name; NewRegion the gen-suffixed name
+	// it is recovered under (minted by PlanRecovery after a durable
+	// split-sequence bump, so a replayed recovery cannot collide).
+	Region    string `json:"region"`
+	NewRegion string `json:"new_region"`
+	Table     string `json:"table"`
+	Start     string `json:"start"`
+	End       string `json:"end,omitempty"`
+	// Source is the worker that should adopt (it holds the best
+	// replica). ReplicaDir is that replica's directory on the shared
+	// disk; empty means no copy survived and the region starts empty
+	// (the loss is the whole region, and the caller's accounting will
+	// say so).
+	Source     string   `json:"source"`
+	ReplicaDir string   `json:"replica_dir,omitempty"`
+	Followers  []string `json:"followers,omitempty"`
+}
+
+// AdoptionReport is the worker's account of one AdoptRegion.
+type AdoptionReport struct {
+	NewRegion    string `json:"new_region"`
+	ReplicaFiles int    `json:"replica_files"`
+	TailWrites   int    `json:"tail_writes"`
+	TailTorn     bool   `json:"tail_torn,omitempty"`
+	// RecoveredTS is the adopted store's logical clock — timestamps are
+	// minted densely, so the caller can measure loss against the count
+	// of writes it saw acknowledged.
+	RecoveredTS uint64 `json:"recovered_ts"`
+}
+
+// FollowerUpdate directs a worker to repoint one of its regions'
+// replica targets after a membership change (the multi-process
+// refreshFollowersAfterLoss).
+type FollowerUpdate struct {
+	Region    string   `json:"region"`
+	Server    string   `json:"server"`
+	Followers []string `json:"followers"`
+}
+
+// LayoutMaster is the catalog-owning, store-less master of a
+// multi-process cluster.
+type LayoutMaster struct {
+	mu          sync.Mutex
+	cat         *catalog
+	dataDir     string
+	replication int
+	splitSeq    int64
+	epoch       int64
+	servers     map[string]ServerConfig
+	tables      map[string]*tableRow
+}
+
+// OpenLayoutMaster opens the cluster catalog exclusively and loads the
+// committed layout. No region store is opened; workers own those.
+func OpenLayoutMaster(dataDir string) (*LayoutMaster, error) {
+	if _, err := os.Stat(catalogDir(dataDir)); err != nil {
+		return nil, fmt.Errorf("hbase: open layout master %q: no META catalog: %w", dataDir, err)
+	}
+	cat, err := openCatalog(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	st, err := cat.loadAll()
+	if err != nil {
+		cat.close()
+		return nil, err
+	}
+	if len(st.servers) == 0 {
+		cat.close()
+		return nil, fmt.Errorf("hbase: open layout master %q: catalog holds no committed servers", dataDir)
+	}
+	lm := &LayoutMaster{
+		cat:         cat,
+		dataDir:     dataDir,
+		replication: st.cluster.Replication,
+		splitSeq:    st.cluster.SplitSeq,
+		epoch:       1,
+		servers:     make(map[string]ServerConfig, len(st.servers)),
+		tables:      make(map[string]*tableRow, len(st.tables)),
+	}
+	for name, row := range st.servers {
+		lm.servers[name] = row.Config
+	}
+	for name, row := range st.tables {
+		r := row
+		lm.tables[name] = &r
+	}
+	return lm, nil
+}
+
+// Close releases the catalog store.
+func (lm *LayoutMaster) Close() { lm.cat.close() }
+
+// Epoch returns the current routing epoch. It advances on every layout
+// change; a client carrying an older epoch is routing on a stale
+// layout and must re-fetch.
+func (lm *LayoutMaster) Epoch() int64 {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.epoch
+}
+
+// Replication returns the cluster's committed replication factor.
+func (lm *LayoutMaster) Replication() int { return lm.replication }
+
+// ServerNames lists the committed membership, sorted.
+func (lm *LayoutMaster) ServerNames() []string {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	names := make([]string, 0, len(lm.servers))
+	for n := range lm.servers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// regionsLocked flattens the layout; callers hold lm.mu.
+func (lm *LayoutMaster) regionsLocked() []LayoutRegion {
+	var out []LayoutRegion
+	tnames := make([]string, 0, len(lm.tables))
+	for tn := range lm.tables {
+		tnames = append(tnames, tn)
+	}
+	sort.Strings(tnames)
+	for _, tn := range tnames {
+		for _, rr := range lm.tables[tn].Regions {
+			out = append(out, LayoutRegion{
+				Name: rr.Name, Table: tn, Start: rr.Start, End: rr.End,
+				Server: rr.Server, Followers: append([]string(nil), rr.Followers...),
+			})
+		}
+	}
+	return out
+}
+
+// Layout returns the routing epoch and the complete region layout.
+func (lm *LayoutMaster) Layout() (int64, []LayoutRegion) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.epoch, lm.regionsLocked()
+}
+
+// Manifest builds the open-time manifest for one worker.
+func (lm *LayoutMaster) Manifest(server string) (NodeManifest, error) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	cfg, ok := lm.servers[server]
+	if !ok {
+		return NodeManifest{}, fmt.Errorf("hbase: manifest: unknown server %q", server)
+	}
+	man := NodeManifest{Server: server, Config: cfg, Replication: lm.replication, Epoch: lm.epoch}
+	for _, r := range lm.regionsLocked() {
+		if r.Server == server {
+			man.Regions = append(man.Regions, r)
+		}
+	}
+	return man, nil
+}
+
+// regionCountsLocked counts assigned regions per server (placement
+// load); callers hold lm.mu.
+func (lm *LayoutMaster) regionCountsLocked() map[string]int {
+	counts := make(map[string]int, len(lm.servers))
+	for n := range lm.servers {
+		counts[n] = 0
+	}
+	for _, t := range lm.tables {
+		for _, rr := range t.Regions {
+			counts[rr.Server]++
+		}
+	}
+	return counts
+}
+
+// pickFollowersLocked chooses replication−1 live servers other than
+// host, least-loaded first (the namenode's placement policy, re-derived
+// from the layout because the layout master runs no namenode). Callers
+// hold lm.mu.
+func (lm *LayoutMaster) pickFollowersLocked(host string) []string {
+	counts := lm.regionCountsLocked()
+	cands := make([]string, 0, len(counts))
+	for n := range counts {
+		if n != host {
+			cands = append(cands, n)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if counts[cands[i]] != counts[cands[j]] {
+			return counts[cands[i]] < counts[cands[j]]
+		}
+		return cands[i] < cands[j]
+	})
+	want := lm.replication - 1
+	if want > len(cands) {
+		want = len(cands)
+	}
+	return append([]string(nil), cands[:want]...)
+}
+
+// PlanRecovery plans the failover of a dead worker: one AdoptSpec per
+// region it hosted, each targeted at the live follower whose shipped
+// replica covers the highest timestamp (ties to the most files, then
+// follower order — pickRecoverySource's election, run over the shared
+// disk). The split sequence is bumped and committed first, so a
+// replayed recovery can never mint colliding names. The dead process
+// must actually be dead: its WAL and region directories are about to
+// be recovered around and then reclaimed.
+func (lm *LayoutMaster) PlanRecovery(dead string) ([]AdoptSpec, error) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	deadCfg, ok := lm.servers[dead]
+	if !ok {
+		return nil, fmt.Errorf("hbase: plan recovery: unknown server %q", dead)
+	}
+	if len(lm.servers) == 1 {
+		return nil, ErrNoServers
+	}
+	lm.splitSeq++
+	gen := lm.splitSeq
+	if err := lm.commitClusterLocked(); err != nil {
+		lm.splitSeq--
+		return nil, err
+	}
+	var specs []AdoptSpec
+	for _, r := range lm.regionsLocked() {
+		if r.Server != dead {
+			continue
+		}
+		source, replicaDirPath := lm.electReplicaLocked(deadCfg.DataDir, dead, r)
+		if source == "" {
+			return nil, fmt.Errorf("hbase: plan recovery: no live server to adopt %s", r.Name)
+		}
+		specs = append(specs, AdoptSpec{
+			Region: r.Name, NewRegion: fmt.Sprintf("%s.%d", r.Name, gen),
+			Table: r.Table, Start: r.Start, End: r.End,
+			Source: source, ReplicaDir: replicaDirPath,
+			Followers: lm.pickFollowersLocked(source),
+		})
+	}
+	return specs, nil
+}
+
+// electReplicaLocked is pickRecoverySource over the layout: the live
+// follower with the highest covered timestamp wins; with no surviving
+// replica, the least-loaded live server starts the region empty.
+// Callers hold lm.mu.
+func (lm *LayoutMaster) electReplicaLocked(deadDataDir, dead string, r LayoutRegion) (string, string) {
+	best, bestDir := "", ""
+	bestFiles := -1
+	var bestCovered uint64
+	for _, f := range r.Followers {
+		if f == dead {
+			continue
+		}
+		if _, ok := lm.servers[f]; !ok {
+			continue
+		}
+		dir := replicaDir(deadDataDir, f, r.Name)
+		ids, err := replication.ListSSTables(dir)
+		if err != nil {
+			continue
+		}
+		covered := replicaCoveredTS(dir, ids)
+		if best == "" || covered > bestCovered ||
+			(covered == bestCovered && len(ids) > bestFiles) {
+			best, bestDir, bestFiles, bestCovered = f, dir, len(ids), covered
+		}
+	}
+	if best != "" {
+		return best, bestDir
+	}
+	counts := lm.regionCountsLocked()
+	for n := range counts {
+		if n == dead {
+			continue
+		}
+		if best == "" || counts[n] < counts[best] || (counts[n] == counts[best] && n < best) {
+			best = n
+		}
+	}
+	return best, ""
+}
+
+// CommitRecovery publishes a completed recovery: every affected table's
+// row is rewritten with the adopted regions (one durable Put per table
+// — the same atomicity unit as in-process recovery), the dead server's
+// membership row is deleted, its directories are reclaimed, and the
+// routing epoch advances. It returns the follower updates for regions
+// elsewhere that replicated onto the dead server, which the caller
+// must relay to the owning workers (SetFollowers + a replication
+// nudge); those re-picks are committed here too.
+func (lm *LayoutMaster) CommitRecovery(dead string, specs []AdoptSpec) ([]FollowerUpdate, error) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	deadCfg, ok := lm.servers[dead]
+	if !ok {
+		return nil, fmt.Errorf("hbase: commit recovery: unknown server %q", dead)
+	}
+	byRegion := make(map[string]AdoptSpec, len(specs))
+	for _, sp := range specs {
+		byRegion[sp.Region] = sp
+	}
+	// Swap the adopted regions into their table rows, and re-pick the
+	// follower sets that listed the dead server, in one pass per table.
+	var updates []FollowerUpdate
+	changed := make(map[string]bool)
+	for tn, t := range lm.tables {
+		for i := range t.Regions {
+			rr := &t.Regions[i]
+			if sp, ok := byRegion[rr.Name]; ok {
+				rr.Name, rr.Server = sp.NewRegion, sp.Source
+				rr.Followers = append([]string(nil), sp.Followers...)
+				changed[tn] = true
+				continue
+			}
+			for _, f := range rr.Followers {
+				if f != dead {
+					continue
+				}
+				rr.Followers = lm.pickFollowersExcludingLocked(rr.Server, dead)
+				updates = append(updates, FollowerUpdate{
+					Region: rr.Name, Server: rr.Server,
+					Followers: append([]string(nil), rr.Followers...),
+				})
+				changed[tn] = true
+				break
+			}
+		}
+	}
+	var errs []error
+	for tn := range changed {
+		if err := lm.commitTableLocked(tn); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) > 0 {
+		// Like a partial in-process recovery: committed tables are safely
+		// failed over, membership survives so a re-run can finish.
+		return updates, errors.Join(errs...)
+	}
+	delete(lm.servers, dead)
+	if err := lm.dropServerLocked(dead); err != nil {
+		return updates, err
+	}
+	// Nothing references the dead server's directories anymore: its
+	// shared WAL (recovery never read it — it stands in for a lost
+	// disk), its primary region directories, and the replica copies the
+	// adoptions consumed.
+	_ = os.RemoveAll(serverWALDir(deadCfg.DataDir, dead))
+	for _, sp := range specs {
+		_ = os.RemoveAll(regionDataDir(deadCfg.DataDir, sp.Region))
+		if sp.ReplicaDir != "" {
+			_ = os.RemoveAll(sp.ReplicaDir)
+		}
+	}
+	lm.epoch++
+	return updates, nil
+}
+
+// pickFollowersExcludingLocked is pickFollowersLocked with one server
+// barred (the member being removed, which regionCounts may still
+// include). Callers hold lm.mu.
+func (lm *LayoutMaster) pickFollowersExcludingLocked(host, barred string) []string {
+	counts := lm.regionCountsLocked()
+	delete(counts, barred)
+	cands := make([]string, 0, len(counts))
+	for n := range counts {
+		if n != host {
+			cands = append(cands, n)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if counts[cands[i]] != counts[cands[j]] {
+			return counts[cands[i]] < counts[cands[j]]
+		}
+		return cands[i] < cands[j]
+	})
+	want := lm.replication - 1
+	if want > len(cands) {
+		want = len(cands)
+	}
+	return append([]string(nil), cands[:want]...)
+}
+
+// commitClusterLocked persists the cluster row; callers hold lm.mu.
+func (lm *LayoutMaster) commitClusterLocked() error {
+	lm.cat.mu.Lock()
+	defer lm.cat.mu.Unlock()
+	return lm.cat.put(catalogClusterKey,
+		clusterRow{Replication: lm.replication, SplitSeq: lm.splitSeq, Rev: lm.cat.nextRev()})
+}
+
+// commitTableLocked persists one table's row; callers hold lm.mu.
+func (lm *LayoutMaster) commitTableLocked(name string) error {
+	t := lm.tables[name]
+	lm.cat.mu.Lock()
+	defer lm.cat.mu.Unlock()
+	row := tableRow{SplitKeys: t.SplitKeys, Regions: t.Regions, Rev: lm.cat.nextRev()}
+	return lm.cat.put(catalogTablePfx+name, row)
+}
+
+// dropServerLocked tombstones the membership row; callers hold lm.mu.
+func (lm *LayoutMaster) dropServerLocked(name string) error {
+	lm.cat.mu.Lock()
+	defer lm.cat.mu.Unlock()
+	return lm.cat.delete(catalogServerPfx + name)
+}
+
+// OpenServerNode opens one server's slice of a cluster in this process:
+// the worker half of a multi-process cold start. It mirrors
+// OpenCluster's per-server work — reopen the shared WAL, reopen every
+// assigned region's store from its directory (WAL replay recovers every
+// acknowledged write), wire replication to the committed follower set,
+// then reclaim orphaned WAL records — without touching the catalog or
+// any other server's directories.
+func OpenServerNode(man NodeManifest) (*RegionServer, error) {
+	nn := hdfs.NewNamenode(man.Replication)
+	rs, err := NewRegionServer(man.Server, man.Config, nn)
+	if err != nil {
+		return nil, err
+	}
+	regions := append([]LayoutRegion(nil), man.Regions...)
+	sort.Slice(regions, func(i, j int) bool { return regions[i].Name < regions[j].Name })
+	for i, lr := range regions {
+		r, err := newRegionNamed(lr.Name, lr.Table, lr.Start, lr.End,
+			rs.storeConfigFor(lr.Name, i+1))
+		if err != nil {
+			rs.Shutdown()
+			return nil, fmt.Errorf("hbase: open server node %s: %w", man.Server, err)
+		}
+		r.SetFollowers(lr.Followers)
+		rs.OpenRegion(r)
+		rs.mirrorSync(r)
+	}
+	if _, err := rs.ReclaimOrphanWALRecords(); err != nil {
+		rs.Shutdown()
+		return nil, fmt.Errorf("hbase: open server node %s: reclaim orphan wal records: %w", man.Server, err)
+	}
+	return rs, nil
+}
+
+// AdoptRegion fails a dead region over onto this server: the
+// worker-side middle of recoverRegion. The new region directory is
+// seeded exclusively from the replica copy (the dead primary directory
+// is never read), the shipped WAL tail is replayed over it, and the
+// region opens for serving. The caller (the layout master) commits the
+// catalog afterwards; a crash in between leaves an orphan directory a
+// future cold start sweeps, and the adoption can simply be re-run.
+func (s *RegionServer) AdoptRegion(spec AdoptSpec) (AdoptionReport, error) {
+	var rep AdoptionReport
+	rep.NewRegion = spec.NewRegion
+	newDir := regionDataDir(s.Config().DataDir, spec.NewRegion)
+	if err := os.MkdirAll(newDir, 0o755); err != nil {
+		return rep, err
+	}
+	if spec.ReplicaDir != "" {
+		ids, err := replication.ListSSTables(spec.ReplicaDir)
+		if err != nil {
+			return rep, err
+		}
+		for _, id := range ids {
+			src := replication.SSTablePath(spec.ReplicaDir, id)
+			if _, err := replication.CopyFile(src, replication.SSTablePath(newDir, id)); err != nil {
+				return rep, err
+			}
+		}
+		rep.ReplicaFiles = len(ids)
+	}
+	nr, err := newRegionNamed(spec.NewRegion, spec.Table, spec.Start, spec.End,
+		s.storeConfigFor(spec.NewRegion, s.NumRegions()+1))
+	if err != nil {
+		return rep, err
+	}
+	discard := func() {
+		st := nr.Store()
+		h, _ := st.WAL().(*durable.RegionLog)
+		st.Close()
+		if h != nil {
+			_ = h.Owner().Drop(h.Name())
+		}
+		_ = os.RemoveAll(newDir)
+	}
+	if spec.ReplicaDir != "" {
+		tail, torn, err := durable.ReadTailFile(durable.TailFilePath(spec.ReplicaDir))
+		if err != nil {
+			discard()
+			return rep, fmt.Errorf("read replica tail: %w", err)
+		}
+		rep.TailTorn = torn
+		if len(tail) > 0 {
+			applied, err := nr.Store().ApplyReplayed(tail)
+			if err != nil {
+				discard()
+				return rep, fmt.Errorf("replay replica tail: %w", err)
+			}
+			rep.TailWrites = applied
+		}
+	}
+	rep.RecoveredTS = nr.Store().MaxTimestamp()
+	nr.SetFollowers(spec.Followers)
+	s.OpenRegion(nr)
+	s.mirrorSync(nr)
+	return rep, nil
+}
+
+// Refollow applies a FollowerUpdate to a hosted region: the worker side
+// of the master's post-recovery follower refresh. The replication
+// nudge makes the next reconciliation ship to the new target set.
+func (s *RegionServer) Refollow(up FollowerUpdate) error {
+	for _, r := range s.Regions() {
+		if r.Name() == up.Region {
+			r.SetFollowers(up.Followers)
+			s.notifyReplication(up.Region)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrWrongRegionServer, up.Region)
+}

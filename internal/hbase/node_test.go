@@ -1,0 +1,154 @@
+package hbase
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestNodeSurfaceFailover drives the multi-process split — LayoutMaster
+// plus OpenServerNode workers — inside one process: bootstrap a durable
+// cluster, stop it, reopen as layout master + worker nodes, kill a
+// worker, and fail its regions over through PlanRecovery / AdoptRegion
+// / CommitRecovery.
+func TestNodeSurfaceFailover(t *testing.T) {
+	dir := t.TempDir()
+	// Bootstrap with the full in-process Master, then stop: the catalog
+	// now holds the committed layout the node surface starts from.
+	m, c := newCatalogCluster(t, 3, dir, durableConfig(dir))
+	if _, err := m.CreateTable("t", []string{"g", "p"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 90; i++ {
+		if err := c.Put("t", fmt.Sprintf("k%04d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushAll(t, m)
+	m.QuiesceReplication()
+	m.HardStop()
+
+	lm, err := OpenLayoutMaster(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lm.Close()
+	nodes := make(map[string]*RegionServer)
+	for _, sn := range lm.ServerNames() {
+		man, err := lm.Manifest(sn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := OpenServerNode(man)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[sn] = rs
+		t.Cleanup(rs.Shutdown)
+	}
+	epoch0, _ := lm.Layout()
+	route := func(key string) LayoutRegion {
+		_, layout := lm.Layout()
+		for _, r := range layout {
+			if key >= r.Start && (r.End == "" || key < r.End) {
+				return r
+			}
+		}
+		t.Fatalf("no region for %q", key)
+		return LayoutRegion{}
+	}
+	// Every bootstrap write must be readable through the worker nodes.
+	for i := 0; i < 90; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		if v, err := nodes[route(k).Server].Get("t", k); err != nil || string(v) != "v" {
+			t.Fatalf("get %s via node: %q, %v", k, v, err)
+		}
+	}
+	// And new writes land (and replicate) through them too.
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("n%04d", i)
+		if err := nodes[route(k).Server].Put("t", k, []byte("w")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rs := range nodes {
+		rs.QuiesceReplication()
+	}
+
+	// Kill one worker and fail it over onto the survivors.
+	victim := route("k0000").Server
+	nodes[victim].Shutdown()
+	quarantineServerDirs(t, nodes[victim])
+	specs, err := lm.PlanRecovery(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) == 0 {
+		t.Fatalf("victim %s hosted no regions; bad test setup", victim)
+	}
+	for _, sp := range specs {
+		if sp.Source == victim {
+			t.Fatalf("plan adopted onto the dead server: %+v", sp)
+		}
+		if sp.ReplicaDir == "" {
+			t.Fatalf("no surviving replica elected for %s", sp.Region)
+		}
+		rep, err := nodes[sp.Source].AdoptRegion(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ReplicaFiles == 0 {
+			t.Fatalf("adoption of %s copied no replica files", sp.Region)
+		}
+	}
+	updates, err := lm.CommitRecovery(victim, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, up := range updates {
+		if up.Server == victim {
+			continue
+		}
+		if err := nodes[up.Server].Refollow(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if epoch1, _ := lm.Layout(); epoch1 <= epoch0 {
+		t.Fatalf("routing epoch did not advance across recovery: %d -> %d", epoch0, epoch1)
+	}
+	delete(nodes, victim)
+
+	// Every acknowledged write — bootstrap and post-reopen — survives,
+	// served by the adopting workers under the new layout.
+	check := func(key, want string) {
+		r := route(key)
+		if r.Server == victim {
+			t.Fatalf("layout still routes %s to the dead server", key)
+		}
+		if v, err := nodes[r.Server].Get("t", key); err != nil || string(v) != want {
+			t.Fatalf("get %s after failover: %q, %v", key, v, err)
+		}
+	}
+	for i := 0; i < 90; i++ {
+		check(fmt.Sprintf("k%04d", i), "v")
+	}
+	for i := 0; i < 30; i++ {
+		check(fmt.Sprintf("n%04d", i), "w")
+	}
+
+	// The committed result must also cold-start: the catalog rows the
+	// recovery wrote are a complete, consistent layout.
+	for _, rs := range nodes {
+		rs.Shutdown()
+	}
+	lm.Close()
+	m2, err := OpenCluster(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m2.HardStop)
+	for i := 0; i < 90; i++ {
+		if v, err := c2Get(m2, "t", fmt.Sprintf("k%04d", i)); err != nil || string(v) != "v" {
+			t.Fatalf("cold start after node recovery: k%04d: %q, %v", i, v, err)
+		}
+	}
+}

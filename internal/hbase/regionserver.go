@@ -142,15 +142,25 @@ func ServerWALDir(dataDir, server string) string {
 // current pool and replicator. Called while constructing s or holding
 // mu. The OnSynced hook runs off the log's locks after each successful
 // fsync round; it nudges the replicator so freshly durable tail records
-// ship promptly instead of waiting for the next flush.
+// ship promptly instead of waiting for the next flush, and credits the
+// per-region record counts that drive the bounded-lag tail floor (ship
+// at least every K records / T ms even when the reconcile queue is
+// starved mid-burst).
 func (s *RegionServer) walOptionsLocked() durable.Options {
 	opts := durable.Options{KeepTail: s.replicator != nil}
 	if s.compactor != nil {
 		opts.Account = s.compactor.Budget().NoteForeground
 	}
-	opts.OnSynced = func(regions []string) {
-		for _, rn := range regions {
-			s.notifyReplication(rn)
+	opts.OnSynced = func(regions map[string]int) {
+		s.mu.RLock()
+		rep := s.replicator
+		s.mu.RUnlock()
+		if rep == nil {
+			return
+		}
+		for rn, n := range regions {
+			rep.Notify(rn)
+			rep.NoteTailRecords(rn, n)
 		}
 	}
 	return opts
@@ -164,7 +174,10 @@ func newReplicator(cfg ServerConfig, pool *compaction.Pool) *replication.Replica
 	if cfg.DataDir == "" {
 		return nil
 	}
-	rc := replication.Config{}
+	rc := replication.Config{
+		TailFloorRecords:  cfg.TailShipMaxLagRecords,
+		TailFloorInterval: cfg.TailShipMaxLagInterval,
+	}
 	if pool != nil {
 		rc.Budget = pool.Budget()
 	}
@@ -437,6 +450,34 @@ func (s *RegionServer) notifyReplication(region string) {
 	if rep != nil {
 		rep.Notify(region)
 	}
+}
+
+// ReclaimOrphanWALRecords drops every shared-log region whose name no
+// hosted region claims, reclaiming the segments those records pin. A
+// cold start needs this: a region that moved away before the last
+// shutdown left records in this server's log, but after the restart it
+// never re-registers here — its flush clock never advances, so without
+// a drop marker its records would pin their segments (and stay in the
+// shippable tail) until the *region's own* next flush on some other
+// server, which can be never. OpenCluster calls this once per server
+// after every catalog-assigned region has been reopened.
+//
+// Known residual: a crash between MoveRegion's WAL switch and the next
+// flush leaves the moved region's post-switch records only in the new
+// host's log; that window is unrelated to this reclaim (the records are
+// in a *live* server's log and replay normally).
+func (s *RegionServer) ReclaimOrphanWALRecords() ([]string, error) {
+	s.mu.RLock()
+	w := s.wal
+	live := make(map[string]bool, len(s.regions))
+	for name := range s.regions {
+		live[name] = true
+	}
+	s.mu.RUnlock()
+	if w == nil {
+		return nil, nil
+	}
+	return w.DropAbsent(live)
 }
 
 // QuiesceReplication blocks until the replicator has shipped every

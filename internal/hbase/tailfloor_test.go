@@ -1,0 +1,109 @@
+package hbase
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestMidBurstKillLossBoundedByTailFloor kills a server in the middle of
+// a sustained write burst — no quiesce, no flush — and asserts the
+// recovery report's loss stays within the configured tail-ship lag
+// bound. The scenario is engineered so the floor is the only thing
+// keeping followers fresh: a flushed SSTable's replica copy wedges the
+// single reconcile worker on a starved I/O budget for several seconds,
+// so notify-driven tail ships stall exactly as they did before the
+// bounded-lag floor existed (then, loss grew with the burst length).
+func TestMidBurstKillLossBoundedByTailFloor(t *testing.T) {
+	const lagRecords = 64
+	const burst = 1200
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	cfg.TailShipMaxLagRecords = lagRecords
+	cfg.TailShipMaxLagInterval = 50 * time.Millisecond
+	// Starve the budget-charged shipping path: the flushed SSTable below
+	// takes seconds to copy at 2 KiB/s, wedging the reconcile worker.
+	cfg.Compaction.BudgetBytesPerSec = 2 << 10
+	m, c := newCatalogCluster(t, 3, dir, cfg)
+	if _, err := m.CreateTable("t", []string{"m"}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := m.Table("t")
+	var hot, flusher *Region
+	for _, r := range tbl.Regions() {
+		if r.StartKey() == "" {
+			hot = r
+		} else {
+			flusher = r
+		}
+	}
+	victim, _ := m.HostOf(hot.Name())
+	// Co-locate the wedging region with the hot one so they share the
+	// victim's replicator (and its single worker).
+	if host, _ := m.HostOf(flusher.Name()); host != victim {
+		if err := m.MoveRegion(flusher.Name(), victim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wedge the worker: flush a ~4 KiB SSTable whose replica copy blocks
+	// on the starved budget, compounded by the burst's foreground debt.
+	if err := c.Put("t", "z-big", make([]byte, 4<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := flusher.Store().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Sustained burst into the hot region while the worker is wedged.
+	// Small enough that nothing auto-flushes: every record lives only in
+	// the memstore, the WAL, and whatever tail the floor shipped.
+	for i := 0; i < burst; i++ {
+		if err := c.Put("t", fmt.Sprintf("a%05d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := m.Server(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rs.ReplicationStats().TailFloorShips; n == 0 {
+		t.Fatal("tail floor never shipped during the burst; the starved-worker scenario is not being exercised")
+	}
+	// Kill mid-burst. Shutdown waits out the wedged copy but drops the
+	// queued notifications, so the hot region's replica holds only what
+	// the floor shipped before this point.
+	rs.Shutdown()
+	quarantineServerDirs(t, rs)
+	report, err := m.RecoverServer(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hotRec *RegionRecovery
+	for i := range report.Regions {
+		if report.Regions[i].Region == hot.Name() {
+			hotRec = &report.Regions[i]
+		}
+	}
+	if hotRec == nil {
+		t.Fatalf("recovery report has no entry for the hot region %s: %+v", hot.Name(), report)
+	}
+	// The documented bound: at most ~2× the configured record floor per
+	// region (the floor resets the lag counter when it snapshots a tail,
+	// so one ship's worth can be in flight on top of a full counter).
+	if hotRec.LostWrites > 2*lagRecords {
+		t.Fatalf("mid-burst kill lost %d acknowledged writes; want <= 2*%d (tail floor lag bound)",
+			hotRec.LostWrites, lagRecords)
+	}
+	// The survivors must have come from the shipped tail (nothing was
+	// flushed), and every write the report claims survived must read back.
+	if hotRec.TailWrites < burst-2*lagRecords {
+		t.Fatalf("only %d of %d burst writes replayed from the shipped tail", hotRec.TailWrites, burst)
+	}
+	survivors := burst - int(hotRec.LostWrites)
+	c2 := NewClient(m)
+	for i := 0; i < survivors; i++ {
+		k := fmt.Sprintf("a%05d", i)
+		if v, err := c2.Get("t", k); err != nil || string(v) != "v" {
+			t.Fatalf("%s after recovery: %q, %v (report claims the first %d survived)", k, v, err, survivors)
+		}
+	}
+}

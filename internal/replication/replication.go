@@ -72,8 +72,8 @@ import (
 	"met/internal/obs"
 )
 
-// Config tunes a Replicator. The zero value gets one worker and an
-// unlimited budget.
+// Config tunes a Replicator. The zero value gets one worker, an
+// unlimited budget and the default bounded-lag tail floor.
 type Config struct {
 	// Workers is the number of concurrent shipping goroutines.
 	// Defaults to 1; distinct regions ship in parallel with more.
@@ -81,9 +81,30 @@ type Config struct {
 	// Budget, when non-nil, receives every copied byte as background
 	// I/O (compaction.Budget implements this), so replication shares
 	// the compaction/serving bandwidth arbitration: shipping blocks
-	// when foreground traffic has depleted the budget.
+	// when foreground traffic has depleted the budget. Tail ships are
+	// exempt (see the TailFloor fields).
 	Budget kv.IOBudget
+	// TailFloorRecords is K in the bounded-lag guarantee: once a region
+	// has accumulated K freshly synced records (NoteTailRecords) since
+	// its last tail ship, its tail ships directly — bypassing both the
+	// worker queue and the I/O budget, because a mid-burst reconcile can
+	// sit behind budget-starved SSTable copies for arbitrarily long and
+	// the loss bound would silently become "whatever the burst wrote".
+	// 0 means the default (256); negative disables the record floor.
+	TailFloorRecords int
+	// TailFloorInterval is T in the bounded-lag guarantee: any region
+	// with at least one unshipped synced record has its tail shipped at
+	// least every T. 0 means the default (200ms); negative disables the
+	// timer floor.
+	TailFloorInterval time.Duration
 }
+
+// Tail-floor defaults (Config.TailFloorRecords/TailFloorInterval zero
+// values).
+const (
+	DefaultTailFloorRecords  = 256
+	DefaultTailFloorInterval = 200 * time.Millisecond
+)
 
 // target is one tracked region: how to snapshot its primary file stack
 // and synced WAL tail, and where its replicas live. All are closures so
@@ -94,6 +115,15 @@ type target struct {
 	files func() ([]kv.ExportedFile, bool)
 	dests func() []string
 	tail  func() []kv.Entry
+
+	// tailMu serializes tail ships for this region across the worker
+	// and floor goroutines: the tail is snapshotted and written under
+	// it, so an older snapshot can never overwrite a newer file.
+	tailMu sync.Mutex
+	// lag counts synced-but-unshipped records (guarded by Replicator.mu;
+	// reset under tailMu *before* the snapshot, so every counted record
+	// is in the snapshot that zeroed it).
+	lag int
 }
 
 // Replicator ships immutable SSTables to follower replica directories,
@@ -112,14 +142,21 @@ type Replicator struct {
 	closed  bool
 	wg      sync.WaitGroup
 
-	filesShipped atomic.Int64
-	bytesShipped atomic.Int64
-	filesRetired atomic.Int64
-	failures     atomic.Int64
-	syncs        atomic.Int64
-	tailShips    atomic.Int64
-	tailBytes    atomic.Int64
-	tailFrames   atomic.Int64
+	// kick wakes the tail-floor goroutine when some region's lag crossed
+	// TailFloorRecords (buffered: one pending wake is enough — the floor
+	// re-scans every lagged region per wake). stopc ends the goroutine.
+	kick  chan struct{}
+	stopc chan struct{}
+
+	filesShipped   atomic.Int64
+	bytesShipped   atomic.Int64
+	filesRetired   atomic.Int64
+	failures       atomic.Int64
+	syncs          atomic.Int64
+	tailShips      atomic.Int64
+	tailBytes      atomic.Int64
+	tailFrames     atomic.Int64
+	tailFloorShips atomic.Int64
 
 	// shipHist times replica-directory reconciles that copied at least
 	// one SSTable; tailHist times WAL-tail frame-file ships.
@@ -127,20 +164,33 @@ type Replicator struct {
 	tailHist obs.Histogram
 }
 
-// New starts a replicator with cfg.Workers background workers.
+// New starts a replicator with cfg.Workers background workers plus, when
+// the bounded-lag tail floor is enabled, one floor goroutine.
 func New(cfg Config) *Replicator {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
+	}
+	if cfg.TailFloorRecords == 0 {
+		cfg.TailFloorRecords = DefaultTailFloorRecords
+	}
+	if cfg.TailFloorInterval == 0 {
+		cfg.TailFloorInterval = DefaultTailFloorInterval
 	}
 	r := &Replicator{
 		cfg:     cfg,
 		targets: make(map[string]*target),
 		queued:  make(map[string]bool),
+		kick:    make(chan struct{}, 1),
+		stopc:   make(chan struct{}),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go r.worker()
+	}
+	if cfg.TailFloorRecords > 0 || cfg.TailFloorInterval > 0 {
+		r.wg.Add(1)
+		go r.floorLoop()
 	}
 	return r
 }
@@ -187,6 +237,85 @@ func (r *Replicator) Notify(region string) {
 	r.cond.Broadcast()
 }
 
+// NoteTailRecords credits region with n freshly fsync-covered records
+// (the WAL's OnSynced counts). When the accumulated lag reaches
+// Config.TailFloorRecords the floor goroutine is woken to ship the
+// region's tail directly — the "ship at least every K records" half of
+// the bounded-lag guarantee. Must never block: it runs on a committing
+// writer's goroutine.
+func (r *Replicator) NoteTailRecords(region string, n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	t := r.targets[region]
+	var over bool
+	if t != nil && !r.closed {
+		t.lag += n
+		over = r.cfg.TailFloorRecords > 0 && t.lag >= r.cfg.TailFloorRecords
+	}
+	r.mu.Unlock()
+	if over {
+		select {
+		case r.kick <- struct{}{}:
+		default: // a wake is already pending; the floor re-scans all lag
+		}
+	}
+}
+
+// floorLoop is the bounded-lag tail shipper: woken by NoteTailRecords
+// when any region's lag crosses the record floor, and by a ticker so no
+// synced record waits longer than the interval floor. It ships tails
+// directly — not through the worker queue, whose budget-charged SSTable
+// copies can starve for arbitrarily long mid-burst.
+func (r *Replicator) floorLoop() {
+	defer r.wg.Done()
+	var tick <-chan time.Time
+	if r.cfg.TailFloorInterval > 0 {
+		ticker := time.NewTicker(r.cfg.TailFloorInterval)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-r.stopc:
+			return
+		case <-r.kick:
+			r.shipLagged(r.cfg.TailFloorRecords)
+		case <-tick:
+			r.shipLagged(1)
+		}
+	}
+}
+
+// shipLagged ships the tail of every region whose lag is at least min.
+func (r *Replicator) shipLagged(min int) {
+	if min < 1 {
+		min = 1
+	}
+	type lagged struct {
+		region string
+		t      *target
+	}
+	var work []lagged
+	r.mu.Lock()
+	for region, t := range r.targets {
+		if t.lag >= min && t.tail != nil {
+			work = append(work, lagged{region, t})
+		}
+	}
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return
+	}
+	for _, w := range work {
+		if err := r.shipTail(w.t, true); err != nil {
+			r.failures.Add(1)
+		}
+	}
+}
+
 // Quiesce blocks until every queued notification has been reconciled
 // and no worker is mid-ship — the "replication caught up" barrier the
 // failover gate uses between a clean flush and a hard kill. New
@@ -212,6 +341,7 @@ func (r *Replicator) Close() {
 	r.queued = make(map[string]bool)
 	r.cond.Broadcast()
 	r.mu.Unlock()
+	close(r.stopc)
 	r.wg.Wait()
 }
 
@@ -253,19 +383,15 @@ func (r *Replicator) worker() {
 // the primary stack. A primary file unlinked between the snapshot and
 // the copy (a racing compaction) is skipped: the compaction latched a
 // fresh notification, so the region re-reconciles against the
-// post-compaction stack. The tail is snapshotted before the stack so a
-// racing flush duplicates records between the two (replay dedups)
-// rather than dropping them from both.
+// post-compaction stack. The tail ships before the stack is
+// snapshotted, so a racing flush duplicates records between the two
+// (replay dedups) rather than dropping them from both.
 func (r *Replicator) sync(t *target) error {
-	var tail []kv.Entry
-	if t.tail != nil {
-		tail = t.tail()
-	}
+	firstErr := r.shipTail(t, false)
 	files, ok := t.files()
 	if !ok {
-		return nil // in-memory backend: nothing shippable
+		return firstErr // in-memory backend: nothing shippable
 	}
-	var firstErr error
 	for _, dir := range t.dests() {
 		shippedBefore := r.filesShipped.Load()
 		shipStart := time.Now()
@@ -275,8 +401,41 @@ func (r *Replicator) sync(t *target) error {
 		if r.filesShipped.Load() > shippedBefore {
 			r.shipHist.Since(shipStart)
 		}
-		if t.tail == nil {
-			continue
+	}
+	return firstErr
+}
+
+// shipTail writes one fresh snapshot of the region's synced WAL tail to
+// every replica directory. Both the worker reconcile and the bounded-lag
+// floor land here; t.tailMu serializes them so an older snapshot can
+// never overwrite a newer file, and the lag counter is zeroed under it
+// *before* the snapshot is taken, so every record the counter credited
+// is inside the snapshot that cleared it.
+//
+// Tail bytes are deliberately NOT charged to the background I/O budget:
+// the tail is small (bounded by the unflushed working set), and the
+// bounded-lag loss guarantee depends on it shipping even while the
+// budget is drained by a write burst — the exact moment the guarantee
+// matters most.
+func (r *Replicator) shipTail(t *target, floor bool) error {
+	if t.tail == nil {
+		return nil
+	}
+	t.tailMu.Lock()
+	defer t.tailMu.Unlock()
+	r.mu.Lock()
+	t.lag = 0
+	r.mu.Unlock()
+	tail := t.tail()
+	var firstErr error
+	for _, dir := range t.dests() {
+		if len(tail) > 0 {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
 		}
 		tailStart := time.Now()
 		n, err := durable.WriteTailFile(durable.TailFilePath(dir), tail, false)
@@ -288,12 +447,12 @@ func (r *Replicator) sync(t *target) error {
 		}
 		if n > 0 {
 			r.tailHist.Since(tailStart)
-			if r.cfg.Budget != nil {
-				r.cfg.Budget.WaitBackground(int(n))
-			}
 			r.tailShips.Add(1)
 			r.tailBytes.Add(n)
 			r.tailFrames.Add(int64(len(tail)))
+			if floor {
+				r.tailFloorShips.Add(1)
+			}
 		}
 	}
 	return firstErr
@@ -486,24 +645,28 @@ type Stats struct {
 	// TailShips / TailBytes / TailFrames count WAL-tail files written to
 	// replica directories, their physical bytes, and the records they
 	// carried (empty tails remove the file and count nothing).
-	TailShips  int64
-	TailBytes  int64
-	TailFrames int64
+	// TailFloorShips counts the subset forced by the bounded-lag floor
+	// (K records / T ms) rather than a worker reconcile.
+	TailShips      int64
+	TailBytes      int64
+	TailFrames     int64
+	TailFloorShips int64
 }
 
 // Add returns the element-wise sum of two snapshots (cluster roll-up).
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		QueueDepth:   s.QueueDepth + o.QueueDepth,
-		Active:       s.Active + o.Active,
-		FilesShipped: s.FilesShipped + o.FilesShipped,
-		BytesShipped: s.BytesShipped + o.BytesShipped,
-		FilesRetired: s.FilesRetired + o.FilesRetired,
-		Syncs:        s.Syncs + o.Syncs,
-		Failures:     s.Failures + o.Failures,
-		TailShips:    s.TailShips + o.TailShips,
-		TailBytes:    s.TailBytes + o.TailBytes,
-		TailFrames:   s.TailFrames + o.TailFrames,
+		QueueDepth:     s.QueueDepth + o.QueueDepth,
+		Active:         s.Active + o.Active,
+		FilesShipped:   s.FilesShipped + o.FilesShipped,
+		BytesShipped:   s.BytesShipped + o.BytesShipped,
+		FilesRetired:   s.FilesRetired + o.FilesRetired,
+		Syncs:          s.Syncs + o.Syncs,
+		Failures:       s.Failures + o.Failures,
+		TailShips:      s.TailShips + o.TailShips,
+		TailBytes:      s.TailBytes + o.TailBytes,
+		TailFrames:     s.TailFrames + o.TailFrames,
+		TailFloorShips: s.TailFloorShips + o.TailFloorShips,
 	}
 }
 
@@ -513,15 +676,16 @@ func (r *Replicator) Stats() Stats {
 	depth, active := len(r.queue), r.active
 	r.mu.Unlock()
 	return Stats{
-		QueueDepth:   depth,
-		Active:       active,
-		FilesShipped: r.filesShipped.Load(),
-		BytesShipped: r.bytesShipped.Load(),
-		FilesRetired: r.filesRetired.Load(),
-		Syncs:        r.syncs.Load(),
-		Failures:     r.failures.Load(),
-		TailShips:    r.tailShips.Load(),
-		TailBytes:    r.tailBytes.Load(),
-		TailFrames:   r.tailFrames.Load(),
+		QueueDepth:     depth,
+		Active:         active,
+		FilesShipped:   r.filesShipped.Load(),
+		BytesShipped:   r.bytesShipped.Load(),
+		FilesRetired:   r.filesRetired.Load(),
+		Syncs:          r.syncs.Load(),
+		Failures:       r.failures.Load(),
+		TailShips:      r.tailShips.Load(),
+		TailBytes:      r.tailBytes.Load(),
+		TailFrames:     r.tailFrames.Load(),
+		TailFloorShips: r.tailFloorShips.Load(),
 	}
 }

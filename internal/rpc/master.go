@@ -1,0 +1,230 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"met/internal/hbase"
+)
+
+// MasterNode is the master process's RPC front: the layout/registration
+// control plane plus the failover orchestrator. It wraps the
+// catalog-owning hbase.LayoutMaster and keeps the one piece of state
+// the catalog does not: which address each live worker serves on.
+// mu guards the address book; layout state lives in the LayoutMaster
+// behind its own lock.
+type MasterNode struct {
+	*Server
+	lm *hbase.LayoutMaster
+	hc *http.Client
+
+	mu    sync.Mutex
+	addrs map[string]string // server name -> "host:port"
+}
+
+// NewMasterNode builds the RPC front for an opened layout master.
+func NewMasterNode(lm *hbase.LayoutMaster, logw io.Writer) *MasterNode {
+	n := &MasterNode{
+		lm:    lm,
+		hc:    &http.Client{Timeout: 30 * time.Second},
+		addrs: make(map[string]string),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /master/register", n.handleRegister)
+	mux.HandleFunc("GET /master/layout", n.handleLayout)
+	mux.HandleFunc("POST /master/recover", n.handleRecover)
+	n.Server = NewServer("master", mux, logw)
+	return n
+}
+
+// LayoutReply is GET /master/layout's body: everything a client needs
+// to route — the epoch, the region map, and each server's address.
+type LayoutReply struct {
+	Epoch   int64                `json:"epoch"`
+	Regions []hbase.LayoutRegion `json:"regions"`
+	Addrs   map[string]string    `json:"addrs"`
+	Servers []string             `json:"servers"`
+}
+
+// registerReq is a worker announcing itself and its serving address.
+type registerReq struct {
+	Server string `json:"server"`
+	Addr   string `json:"addr"`
+}
+
+// handleRegister records the worker's address and hands back its
+// manifest: config, replication factor, assigned regions, epoch.
+// Registration is idempotent and two-phase by design: a worker first
+// registers with an empty address to fetch its manifest (it cannot
+// bind its data listener before it has opened its regions), then
+// re-registers with the bound address once it serves.
+func (n *MasterNode) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerReq
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-body", err.Error())
+		return
+	}
+	man, err := n.lm.Manifest(req.Server)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "unknown-server", err.Error())
+		return
+	}
+	if req.Addr != "" {
+		n.mu.Lock()
+		n.addrs[req.Server] = req.Addr
+		n.mu.Unlock()
+	}
+	writeJSON(w, man)
+}
+
+// handleLayout serves the routing table.
+func (n *MasterNode) handleLayout(w http.ResponseWriter, r *http.Request) {
+	epoch, regions := n.lm.Layout()
+	n.mu.Lock()
+	addrs := make(map[string]string, len(n.addrs))
+	for k, v := range n.addrs {
+		addrs[k] = v
+	}
+	n.mu.Unlock()
+	writeJSON(w, LayoutReply{
+		Epoch: epoch, Regions: regions, Addrs: addrs, Servers: n.lm.ServerNames(),
+	})
+}
+
+// recoverReq names the dead worker; RecoverReply is the orchestration's
+// account of what moved where.
+type recoverReq struct {
+	Server string `json:"server"`
+}
+
+// RecoverReply summarizes one orchestrated failover.
+type RecoverReply struct {
+	Epoch   int64             `json:"epoch"`
+	Regions []RecoveredRegion `json:"regions"`
+}
+
+// RecoveredRegion pairs a recovery plan entry with the adopting
+// worker's report.
+type RecoveredRegion struct {
+	Spec   hbase.AdoptSpec      `json:"spec"`
+	Report hbase.AdoptionReport `json:"report"`
+}
+
+// handleRecover orchestrates a dead worker's failover: plan against
+// the shared disk, direct each elected follower to adopt over RPC,
+// commit the new layout to the catalog, then push the new epoch (and
+// any follower re-picks) to the survivors. Mirrors RecoverServer's
+// commit ordering, so a crash mid-way cold-starts the partially
+// recovered layout and the recovery can be re-run.
+func (n *MasterNode) handleRecover(w http.ResponseWriter, r *http.Request) {
+	var req recoverReq
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-body", err.Error())
+		return
+	}
+	reply, err := n.recover(req.Server)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "recover-failed", err.Error())
+		return
+	}
+	writeJSON(w, reply)
+}
+
+// recover runs the failover; see handleRecover.
+func (n *MasterNode) recover(dead string) (*RecoverReply, error) {
+	specs, err := n.lm.PlanRecovery(dead)
+	if err != nil {
+		return nil, err
+	}
+	reply := &RecoverReply{}
+	for _, spec := range specs {
+		addr, ok := n.addrOf(spec.Source)
+		if !ok {
+			return nil, fmt.Errorf("rpc: recover %s: no address for adopter %s", dead, spec.Source)
+		}
+		var rep hbase.AdoptionReport
+		if err := n.post(addr, "/node/adopt", spec, &rep); err != nil {
+			return nil, fmt.Errorf("rpc: adopt %s on %s: %w", spec.Region, spec.Source, err)
+		}
+		reply.Regions = append(reply.Regions, RecoveredRegion{Spec: spec, Report: rep})
+	}
+	updates, err := n.lm.CommitRecovery(dead, specs)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	delete(n.addrs, dead)
+	n.mu.Unlock()
+	epoch, _ := n.lm.Layout()
+	reply.Epoch = epoch
+	// Best-effort pushes: a worker that misses the epoch push just keeps
+	// serving stale-route 409s one layout change later than ideal, and a
+	// missed refollow is reconciled by the next recovery's re-pick.
+	var errs []error
+	for _, sn := range n.lm.ServerNames() {
+		if addr, ok := n.addrOf(sn); ok {
+			if err := n.post(addr, "/node/epoch", map[string]int64{"epoch": epoch}, nil); err != nil {
+				errs = append(errs, fmt.Errorf("rpc: epoch push to %s: %w", sn, err))
+			}
+		}
+	}
+	for _, up := range updates {
+		if up.Server == dead {
+			continue
+		}
+		if addr, ok := n.addrOf(up.Server); ok {
+			if err := n.post(addr, "/node/refollow", up, nil); err != nil {
+				errs = append(errs, fmt.Errorf("rpc: refollow %s on %s: %w", up.Region, up.Server, err))
+			}
+		}
+	}
+	if len(errs) > 0 {
+		// The recovery itself is committed; report the push failures
+		// without failing the reply's substance.
+		n.lg.Printf("recover %s: post-commit pushes: %v", dead, errors.Join(errs...))
+	}
+	return reply, nil
+}
+
+// addrOf looks up a worker's registered address.
+func (n *MasterNode) addrOf(server string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, ok := n.addrs[server]
+	return a, ok
+}
+
+// post sends one JSON control call to a worker and decodes the reply
+// into out (when non-nil).
+func (n *MasterNode) post(addr, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := n.hc.Post("http://"+addr+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(payload, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("%s: %s (%s)", resp.Status, eb.Error, eb.Code)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, payload)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(payload, out)
+}

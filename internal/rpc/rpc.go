@@ -1,0 +1,152 @@
+// Package rpc is the thin wire layer that turns the in-process cluster
+// into a networked, multi-process one: HTTP transport, JSON for the
+// control plane (layout, register, recover, adopt), and a
+// length-prefixed binary codec for the data plane (get/put/delete/scan
+// — uvarint-framed fields, no per-op JSON overhead on the hot path).
+//
+// # Topology
+//
+// One master process (MasterNode, wrapping hbase.LayoutMaster — the
+// catalog's exclusive owner) plus one worker process per region server
+// (ServerNode, wrapping the hbase.RegionServer that OpenServerNode
+// opened). Workers register with the master at startup
+// (POST /master/register) and receive their manifest; clients fetch
+// the layout (GET /master/layout) and route data operations straight
+// to workers — the master is on no data path, exactly like HBase's.
+//
+// # Middleware
+//
+// Every server runs the same composable middleware chain, outermost
+// first:
+//
+//	panic recovery → request logging → per-op latency histograms →
+//	deadline propagation → handler
+//
+// Recovery converts a handler panic into a 500 without killing the
+// process (one bad request must not take a region server down).
+// Logging writes one line per request (method, path, status, duration)
+// to the node's log. Histograms feed the node's /metrics endpoint
+// (obs.Histogram — the same lock-free buckets the engine's telemetry
+// uses). Deadline propagation honors the X-Met-Deadline header
+// (milliseconds of budget remaining, set by the client from its
+// per-call timeout): the handler runs against a buffered response
+// writer and the deadline expiring first turns the reply into 504
+// without racing the handler's writes.
+//
+// # Routing epochs
+//
+// The master's layout carries a routing epoch that advances on every
+// layout change (today: failover). Clients send their cached epoch on
+// every data call (X-Met-Epoch); the master pushes the new epoch to
+// live workers after committing a recovery, and a worker that sees a
+// client epoch older than its own answers 409 with code "stale-epoch"
+// — the signal to re-fetch the layout and re-route rather than retry
+// blindly. A worker that no longer (or never) hosts the key's region
+// answers 409 "wrong-region" the same way. Connection-refused gets the
+// identical treatment client-side, so a killed worker re-routes as
+// soon as the master has failed its regions over.
+//
+// # Health and drain
+//
+// Every node serves /healthz (process liveness: always 200 while the
+// listener is up) and /readyz (serving readiness: 503 while draining).
+// Drain flips readiness off, then gracefully shuts the HTTP server
+// down — in-flight requests complete, new connections are refused —
+// so every acknowledged write is acknowledged by a fully-processed
+// handler, never truncated by the stop.
+package rpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Wire headers.
+const (
+	// HeaderEpoch carries the client's cached routing epoch on data
+	// calls; a worker with a newer epoch answers 409 stale-epoch.
+	HeaderEpoch = "X-Met-Epoch"
+	// HeaderDeadline is the call's remaining budget in milliseconds —
+	// relative, not absolute, so the two processes' clocks need not
+	// agree.
+	HeaderDeadline = "X-Met-Deadline"
+)
+
+// Error codes carried in JSON error bodies ({"code": ..., "error": ...}).
+const (
+	CodeStaleEpoch  = "stale-epoch"
+	CodeWrongRegion = "wrong-region"
+	CodeDraining    = "draining"
+	CodeNotFound    = "not-found"
+	CodeDeadline    = "deadline-exceeded"
+)
+
+// ErrDraining is returned when an operation lands on a draining node.
+var ErrDraining = errors.New("rpc: node is draining")
+
+// errorBody is the JSON error envelope every non-2xx reply carries.
+type errorBody struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// writeError replies with a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Code: code, Error: msg})
+}
+
+// writeJSON replies 200 with a JSON body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; the client's decode will fail.
+		return
+	}
+}
+
+// maxBody bounds request bodies (a put's value plus framing slack; the
+// engine's values are row-sized, not blobs).
+const maxBody = 16 << 20
+
+// --- binary data-plane codec -------------------------------------------
+//
+// Fields are uvarint length-prefixed byte strings, concatenated in
+// order. Integers are bare uvarints (or varints where negative values
+// are legal). The framing is self-delimiting, so decode errors are
+// always "short buffer", never a mis-split.
+
+// appendStr appends one length-prefixed field.
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendBytes appends one length-prefixed byte field.
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// takeStr decodes one length-prefixed field, returning the rest.
+func takeStr(b []byte) (string, []byte, error) {
+	p, rest, err := takeBytes(b)
+	return string(p), rest, err
+}
+
+// takeBytes decodes one length-prefixed byte field, returning the rest.
+func takeBytes(b []byte) ([]byte, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("rpc: truncated field length")
+	}
+	b = b[sz:]
+	if uint64(len(b)) < n {
+		return nil, nil, fmt.Errorf("rpc: field of %d bytes in %d-byte remainder", n, len(b))
+	}
+	return b[:n], b[n:], nil
+}

@@ -1,0 +1,155 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"met/internal/obs"
+)
+
+// Server is one node's HTTP front: a listener, the middleware chain
+// around the node's handler, and the health/readiness/drain surface.
+// mu guards the listener/server handles across Serve/Drain/Close; the
+// serving path itself runs lock-free on the atomics.
+type Server struct {
+	mu  sync.Mutex
+	lis net.Listener
+	srv *http.Server
+
+	name     string
+	lg       *log.Logger
+	metrics  *Metrics
+	draining atomic.Bool
+	extra    func(w *obs.MetricWriter) // node-specific /metrics section
+	health   func() error              // nil = always healthy
+}
+
+// NewServer wraps handler in the standard middleware chain (panic
+// recovery outermost, then request logging, per-op histograms, and
+// deadline propagation) and mounts the health surface next to it.
+// logw receives the request log; name tags each line.
+func NewServer(name string, mux *http.ServeMux, logw io.Writer) *Server {
+	if logw == nil {
+		logw = io.Discard
+	}
+	s := &Server{
+		name:    name,
+		lg:      log.New(logw, name+" ", log.LstdFlags|log.Lmicroseconds),
+		metrics: NewMetrics(),
+	}
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	handler := chain(mux,
+		withRecovery(s.lg),
+		withLogging(s.lg),
+		withMetrics(s.metrics),
+		withDeadline(),
+	)
+	s.srv = &http.Server{Handler: handler}
+	return s
+}
+
+// SetHealth installs the node's liveness probe (nil error = healthy).
+func (s *Server) SetHealth(f func() error) { s.health = f }
+
+// SetMetricsExtra appends a node-specific section to /metrics.
+func (s *Server) SetMetricsExtra(f func(w *obs.MetricWriter)) { s.extra = f }
+
+// Metrics exposes the per-op histograms (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Serve binds addr (use ":0" for an ephemeral port) and serves in the
+// background; the bound address is available from Addr.
+func (s *Server) Serve(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.lis = lis
+	srv := s.srv
+	s.mu.Unlock()
+	go func() {
+		if err := srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.lg.Printf("serve: %v", err)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully stops serving: readiness flips off first (load
+// balancers and clients stop sending), then the HTTP server shuts
+// down — in-flight requests run to completion, new connections are
+// refused. Every reply that was sent is a fully-processed one; an
+// acknowledged write is never truncated by the stop.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	return srv.Shutdown(ctx)
+}
+
+// Close force-closes the listener and all connections (a hard stop;
+// use Drain for graceful).
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	return srv.Close()
+}
+
+// handleHealthz is process liveness: 200 while the listener is up and
+// the node's probe (if any) passes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.health != nil {
+		if err := s.health(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "unhealthy", err.Error())
+			return
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is serving readiness: 503 once draining has begun.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "node is draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ready\n")
+}
+
+// handleMetrics renders the per-op latency histograms (and the node's
+// extra section) in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	mw := obs.NewMetricWriter(w)
+	s.metrics.WriteProm(mw)
+	if s.extra != nil {
+		s.extra(mw)
+	}
+}

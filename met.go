@@ -97,6 +97,37 @@
 // flush/compaction/stall/write-amplification counters in its -json
 // output.
 //
+// # Networked cluster
+//
+// Everything above runs the cluster in one process. The RPC layer
+// (met/internal/rpc) and the metnode command turn the same durable
+// data directory into a real multi-process deployment: one layout
+// master process owning the META catalog, plus one region-server
+// process per catalog member, talking HTTP — a JSON control plane for
+// registration/layout/recovery and a length-prefixed binary data plane
+// for get/put/delete/scan. Exactly one process owns each WAL: workers
+// never open the catalog, they fetch a manifest (config, assigned
+// regions, routing epoch) from the master at startup instead.
+//
+//	metnode -role master -data DIR
+//	metnode -role server -name rs0 -master HOST:PORT
+//
+// Clients (rpc.Dial) cache the master's layout and route each key
+// straight to its hosting worker. Every layout change bumps a routing
+// epoch; a request carrying a stale epoch bounces with 409 and the
+// client transparently re-fetches and retries, the same path that
+// absorbs connection-refused when a worker dies. Deadlines propagate
+// on the wire (X-Met-Deadline), so a slow server gives up exactly when
+// its caller does, and every node serves /healthz, /readyz and
+// /metrics with graceful drain on SIGTERM — in-flight requests finish,
+// acknowledged writes are never truncated. When a worker process is
+// killed outright, the master re-plans its regions from the shared
+// disk's replica copies and directs surviving workers to adopt them
+// (the networked RecoverServer). `metbench -procs 3 -failover -durable
+// DIR` drives all of it with real OS processes and kill -9, and CI
+// gates on the loss bounds: zero after a replication quiesce, tail-lag
+// bounded mid-burst.
+//
 // # Observability
 //
 // Every cluster carries an always-on telemetry layer (met/internal/obs):
